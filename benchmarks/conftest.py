@@ -1,0 +1,37 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each benchmark regenerates one paper table/figure: it runs the experiment
+driver under pytest-benchmark (one deterministic round — these are
+simulations, not microbenchmarks), prints the same rows/series the paper
+reports, and asserts the result's *shape* (orderings, crossovers, bands).
+
+Set ``REPRO_FULL=1`` to run with the full workload sizes instead of the
+quick ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: reproduces a paper figure/table")
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_FULL", "") != "1"
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,125 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    batch_size_sweep,
+    comparator_placement,
+    flush_cost_study,
+    huge_page_study,
+    micro_tlb_ablation,
+    noc_hotspot_study,
+    prefetch_sensitivity,
+    qst_size_sweep,
+)
+
+
+@pytest.mark.figure
+def test_ablation_qst_size(run_once, quick):
+    result = run_once(qst_size_sweep, quick=quick)
+    print()
+    print(result.format())
+    speedups = result.column("speedup")
+    # More QST entries never hurt; gains flatten after the paper's pick.
+    assert speedups == sorted(speedups) or max(
+        abs(a - b) for a, b in zip(speedups, sorted(speedups))
+    ) < 0.05
+    ten = result.row_for("qst_entries", 10)["speedup"]
+    forty = result.row_for("qst_entries", 40)["speedup"]
+    assert forty - ten < 0.25 * ten  # diminishing returns past 10
+    two = result.row_for("qst_entries", 2)["speedup"]
+    assert ten > 1.5 * two
+
+
+@pytest.mark.figure
+def test_ablation_comparator_placement(run_once, quick):
+    result = run_once(comparator_placement, quick=quick)
+    print()
+    print(result.format())
+    remote = result.row_for("placement", "remote (paper)")
+    local = result.row_for("placement", "local-only")
+    # The remote path's benefit in this model is pollution avoidance:
+    # local-only compares drag far more lines into the private L2.
+    assert local["l2_fills_per_query"] > 2 * remote["l2_fills_per_query"]
+
+
+@pytest.mark.figure
+def test_ablation_noc_hotspot(run_once, quick):
+    result = run_once(noc_hotspot_study, quick=quick)
+    print()
+    print(result.format())
+    rows = {row["scheme"]: row for row in result.rows}
+    # Centralized device: one link near its stop runs far hotter than the
+    # mesh average; distributed schemes spread the traffic.
+    for device in ("device-direct", "device-indirect"):
+        assert rows[device]["hotspot_over_mean"] > 4.0
+        assert rows[device]["hotspot_link_pct"] > rows["cha-tlb"]["hotspot_link_pct"]
+    assert rows["cha-tlb"]["hotspot_over_mean"] < 4.0
+    assert rows["core-integrated"]["hotspot_over_mean"] < 4.0
+
+
+@pytest.mark.figure
+def test_ablation_batch_depth(run_once, quick):
+    result = run_once(batch_size_sweep, quick=quick)
+    print()
+    print(result.format())
+    speedups = result.column("speedup")
+    # Deeper batches help up to the QST capacity, then flatten.
+    assert speedups[0] < speedups[2]
+    assert abs(speedups[-1] - speedups[-2]) < 0.2 * speedups[-2]
+
+
+@pytest.mark.figure
+def test_ablation_flush_cost(run_once):
+    result = run_once(flush_cost_study)
+    print()
+    print(result.format())
+    costs = result.column("flush_cycles")
+    # Flushing an idle accelerator is free; cost grows with in-flight NB
+    # queries (one abort store per entry), and every NB query is aborted.
+    assert costs[0] == 0
+    assert costs == sorted(costs)
+    assert costs[-1] > costs[1]
+    for row in result.rows:
+        assert row["aborted"] == row["nb_in_flight"]
+
+
+@pytest.mark.figure
+def test_ablation_micro_tlb(run_once, quick):
+    result = run_once(micro_tlb_ablation, quick=quick)
+    print()
+    print(result.format())
+    rows = result.rows
+    # More translation registers never increase mean memory latency.
+    assert rows[-1]["mean_mem_latency"] <= rows[0]["mean_mem_latency"] + 0.5
+
+
+@pytest.mark.figure
+def test_ablation_prefetch_sensitivity(run_once, quick):
+    result = run_once(prefetch_sensitivity, quick=quick)
+    print()
+    print(result.format())
+    for row in result.rows:
+        # The paper's claim: spatial prefetching barely helps query code.
+        assert row["baseline_gain_pct"] < 15.0, row
+        # QEI's advantage survives the stronger baseline.
+        assert row["speedup_with_prefetch"] > 1.0, row
+
+
+@pytest.mark.figure
+def test_ablation_huge_pages(run_once, quick):
+    result = run_once(huge_page_study, quick=quick)
+    print()
+    print(result.format())
+    rows = {row["scheme"]: row for row in result.rows}
+    # Huge pages close most of the TLB-less scheme's translation gap...
+    gap_4kb = rows["cha-tlb"]["speedup_4kb"] / rows["cha-notlb"]["speedup_4kb"]
+    gap_huge = (
+        rows["cha-tlb"]["speedup_hugepages"]
+        / rows["cha-notlb"]["speedup_hugepages"]
+    )
+    assert gap_huge < gap_4kb
+    # ...while the core-integrated scheme is placement-insensitive (it
+    # shares the core's L2-TLB either way).
+    ci = rows["core-integrated"]
+    assert abs(ci["speedup_hugepages"] - ci["speedup_4kb"]) < 0.15 * ci["speedup_4kb"]

@@ -1,0 +1,19 @@
+"""Fig. 1 — share of application CPU time spent in query operations."""
+
+import pytest
+
+from repro.analysis import fig1_profiling
+
+
+@pytest.mark.figure
+def test_fig01_profiling(run_once, quick):
+    result = run_once(fig1_profiling, quick=quick)
+    print()
+    print(result.format())
+    shares = result.column("query_share_pct")
+    # Paper band: 23%-44%.  Allow a small margin on each side.
+    assert all(18.0 <= s <= 52.0 for s in shares), shares
+    # Query operations are a substantial minority everywhere: never the
+    # majority of application time, never negligible.
+    assert max(shares) < 55.0
+    assert min(shares) > 15.0

@@ -1,0 +1,36 @@
+"""Fig. 7 — ROI query speedup per workload per integration scheme."""
+
+import pytest
+
+from repro.analysis import fig7_speedup
+
+
+@pytest.mark.figure
+def test_fig07_speedup(run_once, quick):
+    result = run_once(fig7_speedup, quick=quick)
+    print()
+    print(result.format())
+
+    near_cache = ["cha-tlb", "core-integrated"]
+    for row in result.rows:
+        name = row["workload"]
+        # Near-cache schemes beat both device schemes on every workload.
+        best_near = max(row[s] for s in near_cache)
+        assert best_near > row["device-direct"], name
+        assert best_near > row["device-indirect"], name
+        # Device-indirect is the worst scheme everywhere (Sec. VII-A).
+        assert row["device-indirect"] == min(
+            v for k, v in row.items() if k != "workload"
+        ), name
+        # CHA-noTLB trails CHA-TLB (dedicated translation wins, Sec. VII-A).
+        assert row["cha-notlb"] <= row["cha-tlb"] * 1.02, name
+
+    # The proposed core-integrated scheme accelerates every workload...
+    ci = result.column("core-integrated")
+    assert all(v > 1.0 for v in ci)
+    # ...substantially on the query-dense ones.
+    assert max(ci) > 3.0
+    # Hash-table workloads punish device schemes hardest: DPDK's
+    # device-indirect speedup is far below its near-cache speedup.
+    dpdk = result.row_for("workload", "dpdk")
+    assert dpdk["device-indirect"] < 0.5 * max(dpdk[s] for s in near_cache)

@@ -1,0 +1,25 @@
+"""Fig. 8 — Device-indirect sensitivity to interface data-access latency."""
+
+import pytest
+
+from repro.analysis import fig8_latency_sweep
+
+
+@pytest.mark.figure
+def test_fig08_latency_sweep(run_once, quick):
+    result = run_once(fig8_latency_sweep, quick=quick)
+    print()
+    print(result.format())
+
+    workloads = [c for c in result.columns if c != "latency_cycles"]
+    for name in workloads:
+        series = result.column(name)
+        # Monotonic non-increasing speedup as the interface slows down.
+        assert all(a >= b for a, b in zip(series, series[1:])), (name, series)
+        # The drop is non-trivial: 2000-cycle latency loses most of the
+        # 50-cycle performance (Sec. VII-A).
+        assert series[-1] < 0.4 * series[0], (name, series)
+    # At OpenCAPI-like latencies the scheme stops being an accelerator at
+    # all for short queries.
+    last_row = result.rows[-1]
+    assert all(last_row[name] < 1.0 for name in workloads)

@@ -1,0 +1,22 @@
+"""Fig. 11 — dynamic instruction count reduction in the ROI."""
+
+import pytest
+
+from repro.analysis import fig11_instruction_count
+
+
+@pytest.mark.figure
+def test_fig11_instruction_count(run_once, quick):
+    result = run_once(fig11_instruction_count, quick=quick)
+    print()
+    print(result.format())
+
+    for row in result.rows:
+        # QEI eliminates a significant share of dynamic instructions.
+        assert row["reduction_pct"] > 40.0, row
+        assert row["qei_instructions"] < row["baseline_instructions"]
+    # Pointer-chasing / scanning workloads (many instructions per query)
+    # shed the most; the reduction is largest for snort's byte-wise scan.
+    snort = result.row_for("workload", "snort")
+    dpdk = result.row_for("workload", "dpdk")
+    assert snort["reduction_pct"] > dpdk["reduction_pct"]

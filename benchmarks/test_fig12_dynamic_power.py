@@ -1,0 +1,22 @@
+"""Fig. 12 — QEI dynamic power per query relative to the software baseline."""
+
+import pytest
+
+from repro.analysis import fig12_dynamic_power
+
+
+@pytest.mark.figure
+def test_fig12_dynamic_power(run_once, quick):
+    result = run_once(fig12_dynamic_power, quick=quick)
+    print()
+    print(result.format())
+
+    schemes = [c for c in result.columns if c != "workload"]
+    ratios = [row[s] for row in result.rows for s in schemes]
+    # All accelerator variants save a large share of per-query dynamic
+    # power (paper: >60% reduction; the hash-table workload is closest to
+    # the line because its software routine is already short).
+    assert all(r < 50.0 for r in ratios), ratios
+    # Instruction-heavy workloads save the most.
+    by_workload = {row["workload"]: min(row[s] for s in schemes) for row in result.rows}
+    assert by_workload["snort"] < by_workload["dpdk"]

@@ -1,0 +1,47 @@
+"""Chip-wide scalability bench (quantifying Tab. I's scalability column)."""
+
+import pytest
+
+from repro.analysis.scalability import scalability_study
+
+
+@pytest.mark.figure
+def test_scalability(run_once, quick):
+    result = run_once(scalability_study)
+    print()
+    print(result.format())
+
+    one = result.row_for("cores", 1)
+    full = result.rows[-1]
+    cores = full["cores"]
+
+    # Near-cache schemes keep scaling; the centralized device saturates.
+    ci_scaling = full["core-integrated"] / one["core-integrated"]
+    dev_scaling = full["device-direct"] / one["device-direct"]
+    assert ci_scaling > dev_scaling * 1.5
+    # Device throughput flattens well below linear.
+    assert dev_scaling < 0.6 * cores
+    # Core-private engines scale the best of all schemes at full load.
+    assert full["core-integrated"] == max(
+        v for k, v in full.items() if k != "cores"
+    )
+    # Every scheme still gains from more offered load (no inversion).
+    for scheme in ("core-integrated", "cha-tlb", "device-direct"):
+        series = result.column(scheme)
+        assert series[-1] > series[0]
+
+
+@pytest.mark.figure
+def test_corun_interference(run_once, quick):
+    from repro.analysis.interference import corun_interference
+
+    result = run_once(corun_interference, quick=quick)
+    print()
+    print(result.format())
+    for row in result.rows:
+        # An LLC-exceeding antagonist hurts both execution modes a lot...
+        assert row["software_slowdown_pct"] > 20.0, row
+        assert row["qei_slowdown_pct"] > 20.0, row
+        # ...and neither side collapses by orders of magnitude.
+        assert row["qei_slowdown_pct"] < 1000.0
+        assert row["software_slowdown_pct"] < 1000.0

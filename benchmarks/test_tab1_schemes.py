@@ -1,0 +1,26 @@
+"""Tab. I — integration scheme comparison."""
+
+import pytest
+
+from repro.analysis import tab1_schemes
+
+
+@pytest.mark.figure
+def test_tab1_schemes(run_once):
+    result = run_once(tab1_schemes)
+    print()
+    print(result.format())
+
+    rows = {row["scheme"]: row for row in result.rows}
+    # Core-integrated has the lowest accelerator-core latency (Tab. I).
+    assert rows["core-integrated"]["accel_core_rtt"] < rows["cha-tlb"]["accel_core_rtt"]
+    assert rows["cha-tlb"]["accel_core_rtt"] < rows["device-indirect"]["accel_core_rtt"]
+    # Only device schemes create NoC hotspots and pay interface latency.
+    for scheme in ("device-direct", "device-indirect"):
+        assert rows[scheme]["noc_hotspot"] == "Yes"
+        assert rows[scheme]["accel_data_extra"] > 0
+    for scheme in ("cha-tlb", "cha-notlb", "core-integrated"):
+        assert rows[scheme]["noc_hotspot"] == "No"
+        assert rows[scheme]["accel_data_extra"] == 0
+    # No scheme pollutes private caches (comparisons stay near the LLC).
+    assert all(row["private_pollution"] == "No" for row in result.rows)

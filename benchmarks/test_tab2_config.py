@@ -1,0 +1,21 @@
+"""Tab. II — the simulated CPU model configuration."""
+
+import pytest
+
+from repro.analysis import tab2_config
+
+
+@pytest.mark.figure
+def test_tab2_config(run_once):
+    result = run_once(tab2_config)
+    print()
+    print(result.format())
+
+    rows = {row["item"]: row["configuration"] for row in result.rows}
+    assert "24 OoO @ 2.5 GHz" in rows["cores"]
+    assert "33MB LLC" in rows["caches"]
+    assert "24 slices" in rows["caches"]
+    assert rows["LQ/SQ/ROB"] == "72/56/224"
+    assert "6 channels" in rows["memory"]
+    assert "10-entry QST" in rows["QEI"]
+    assert rows["process"] == "22nm"

@@ -1,0 +1,26 @@
+"""Tab. III — QEI area and static power per configuration."""
+
+import pytest
+
+from repro.analysis import tab3_area_power
+
+
+@pytest.mark.figure
+def test_tab3_area_power(run_once):
+    result = run_once(tab3_area_power)
+    print()
+    print(result.format())
+
+    for row in result.rows:
+        # Calibrated model lands within 2% of the paper's McPAT/CACTI output.
+        assert row["area_mm2"] == pytest.approx(row["paper_area_mm2"], rel=0.02)
+        assert row["static_mw"] == pytest.approx(row["paper_static_mw"], rel=0.02)
+
+    rows = {row["configuration"]: row for row in result.rows}
+    # The dedicated TLB more than doubles QEI-10's area (the paper's
+    # practicality argument against CHA-TLB, Sec. VII-D).
+    assert rows["QEI-10+TLB"]["area_mm2"] > 2 * rows["QEI-10"]["area_mm2"]
+    # The 24x-larger device QST stays ~6x the area (banked storage).
+    assert rows["QEI-240"]["area_mm2"] < 8 * rows["QEI-10"]["area_mm2"]
+    # Everything is negligible next to an ~18mm2 core tile.
+    assert all(row["area_mm2"] < 1.2 for row in result.rows)

@@ -1,0 +1,72 @@
+"""Intrusion-prevention literal matching on QEI (the Snort scenario).
+
+Builds an Aho-Corasick automaton over a keyword dictionary in simulated
+memory and scans packet payloads with it — once as the software baseline,
+once as a single QEI trie-CFA query per payload (subtype 1: the "key" is
+the payload text; the result is the number of keyword hits).
+
+Run:  python examples/ids_literal_matching.py
+"""
+
+import random
+
+from repro.datastructs import AhoCorasickTrie
+from repro.system import System
+from repro.core.accelerator import QueryRequest
+from repro.cpu.trace import TraceBuilder
+from repro.workloads.snort import make_dictionary, make_payload
+
+PAYLOAD_BYTES = 256
+KEYWORDS = 300
+
+
+def main() -> None:
+    system = System(scheme="core-integrated")
+
+    automaton = AhoCorasickTrie(system.mem, key_length=PAYLOAD_BYTES)
+    dictionary = make_dictionary(KEYWORDS, seed=17)
+    for i, word in enumerate(dictionary):
+        automaton.insert(word, i)
+    automaton.seal()
+    print(f"automaton: {KEYWORDS} keywords, "
+          f"{automaton.header().size} serialized nodes\n")
+
+    rng = random.Random(99)
+    payloads = [
+        make_payload(PAYLOAD_BYTES, dictionary, hit_density=0.03, rng=rng)
+        for _ in range(4)
+    ]
+
+    system.warm_llc()
+    for i, payload in enumerate(payloads):
+        # Software scan (emits the baseline trace as a side effect).
+        builder = TraceBuilder()
+        addr = system.mem.store_bytes(payload)
+        matches = automaton.emit_match(builder, addr, payload)
+        software = system.cores[0].execute(builder.trace)
+
+        # QEI scan: one query over the whole payload.
+        handle = system.accelerator.submit(
+            QueryRequest(header_addr=automaton.header_addr, key_addr=addr),
+            system.engine.now,
+        )
+        system.accelerator.wait_for(handle)
+        assert handle.value == len(matches), "CFA and software must agree"
+
+        hits = ", ".join(
+            dictionary[v][:12].decode() for _, v in matches[:3]
+        ) or "none"
+        print(f"payload {i}: {len(matches):>2} keyword hits ({hits}...)")
+        print(f"  software scan : {software.cycles:>7} cycles, "
+              f"{software.instructions} instructions")
+        print(f"  QEI trie CFA  : "
+              f"{handle.completion_cycle - handle.submit_cycle:>7} cycles, "
+              "1 instruction on the core\n")
+
+    print("Per-payload latency is comparable, but the core retires ~0 "
+          "instructions for the scan — and payloads overlap in the QST, "
+          "which is where the Fig. 7 throughput win comes from.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""NFV packet classification with non-blocking queries (the Fig. 10 use case).
+
+A virtual switch classifies each packet against a *tuple space*: one hash
+table per tuple mask, every packet probed in all of them, highest-priority
+hit wins.  The probes are independent, so the classifier issues QUERY_NB
+bursts (32 packets x N tuples) and polls the results once per burst with a
+wide SNAPSHOT_READ — the paper's ideal non-blocking pattern (Sec. VII-B).
+
+The example compares three ways to run the same classification:
+
+* the software baseline (DPDK-style lookup loop on the OoO core);
+* blocking QUERY_B offload;
+* non-blocking QUERY_NB offload with batched polling.
+
+Run:  python examples/nfv_packet_classifier.py
+"""
+
+from repro.system import System
+from repro.workloads import run_baseline, run_qei
+from repro.workloads.tuple_space import TupleSpaceWorkload
+
+TUPLES = 5
+PACKETS = 48
+
+
+def build(scheme: str) -> tuple:
+    system = System(scheme=scheme)
+    classifier = TupleSpaceWorkload(
+        system,
+        num_tuples=TUPLES,
+        flows_per_tuple=512,
+        num_packets=PACKETS,
+        num_buckets=512,
+    )
+    classifier.build()
+    return system, classifier
+
+
+def main() -> None:
+    print(f"tuple-space search: {TUPLES} tuples x {PACKETS} packets "
+          f"({TUPLES * PACKETS} hash-table probes)\n")
+
+    for scheme in ("core-integrated", "cha-tlb", "device-indirect"):
+        system, classifier = build(scheme)
+        baseline = run_baseline(system, classifier)
+
+        system_b, classifier_b = build(scheme)
+        blocking = run_qei(system_b, classifier_b)
+
+        system_nb, classifier_nb = build(scheme)
+        non_blocking = run_qei(
+            system_nb,
+            classifier_nb,
+            non_blocking=True,
+            poll_every=classifier_nb.nb_poll_every(),
+        )
+
+        print(f"[{scheme}]")
+        print(f"  software baseline : {baseline.cycles:>8} cycles")
+        print(f"  QUERY_B  blocking : {blocking.cycles:>8} cycles "
+              f"({baseline.cycles / blocking.cycles:.2f}x)")
+        print(f"  QUERY_NB batched  : {non_blocking.cycles:>8} cycles "
+              f"({baseline.cycles / non_blocking.cycles:.2f}x)")
+        occupancy = system_nb.accelerator.qst.mean_occupancy()
+        print(f"  mean QST occupancy under QUERY_NB: {occupancy:.0%}\n")
+
+    print("Non-blocking batching is what rescues the high-latency schemes: "
+          "hundreds of in-flight requests amortize the interface round "
+          "trips (Sec. VII-B).")
+
+
+if __name__ == "__main__":
+    main()

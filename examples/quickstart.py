@@ -1,0 +1,75 @@
+"""Quickstart: build a machine, put a hash table in its memory, query it.
+
+Shows the whole QEI flow in ~50 lines:
+
+1. build a simulated system under the paper's Core-integrated scheme;
+2. create a cuckoo hash table *inside the simulated process memory*
+   (its 64B metadata header is what the accelerator will parse);
+3. run the same lookups twice — as the software baseline routine on the
+   out-of-order core model, and as QUERY_B instructions offloaded to QEI —
+   and compare cycles.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import small_config
+from repro.datastructs import CuckooHashTable
+from repro.system import System
+from repro.workloads import make_workload, run_baseline, run_qei
+
+
+def main() -> None:
+    # A scaled-down 4-core machine keeps this instant; SystemConfig() gives
+    # the paper's full 24-core Skylake-SP-like setup (Tab. II).
+    system = System(small_config(), scheme="core-integrated")
+
+    # --- the data structure lives in *simulated* memory ----------------- #
+    table = CuckooHashTable(system.mem, key_length=16, num_buckets=256)
+    for i in range(500):
+        key = f"flow-{i:06d}".encode().ljust(16, b"_")
+        table.insert(key, 10_000 + i)
+
+    header = table.header()
+    print(f"hash table header @ 0x{table.header_addr:x}: "
+          f"type={header.structure_type.name}, "
+          f"{header.size} buckets x {header.subtype} slots, "
+          f"{header.key_length}B keys")
+
+    # --- one query through the accelerator ------------------------------ #
+    from repro.core.accelerator import QueryRequest
+
+    key = b"flow-000042".ljust(16, b"_")
+    handle = system.accelerator.submit(
+        QueryRequest(header_addr=table.header_addr, key_addr=table.store_key(key)),
+        system.engine.now,
+    )
+    system.accelerator.wait_for(handle)
+    print(f"QEI lookup({key!r}) -> {handle.value} "
+          f"[{handle.status.value}, "
+          f"{handle.completion_cycle - handle.submit_cycle} cycles]")
+    assert handle.value == table.lookup(key)
+
+    # --- baseline vs QEI over a query stream ----------------------------- #
+    system_b = System(small_config(), scheme="core-integrated")
+    workload_b = make_workload(
+        "dpdk", system_b, num_flows=512, num_buckets=256, num_queries=60
+    )
+    baseline = run_baseline(system_b, workload_b)
+
+    system_q = System(small_config(), scheme="core-integrated")
+    workload_q = make_workload(
+        "dpdk", system_q, num_flows=512, num_buckets=256, num_queries=60
+    )
+    qei = run_qei(system_q, workload_q)  # verifies results internally
+
+    print(f"\nbaseline : {baseline.cycles:>8} cycles "
+          f"({baseline.instructions} instructions)")
+    print(f"QEI      : {qei.cycles:>8} cycles "
+          f"({qei.instructions} instructions)")
+    print(f"speedup  : {baseline.cycles / qei.cycles:.2f}x, "
+          f"instruction reduction "
+          f"{100 * (1 - qei.instructions / baseline.instructions):.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — a full-system reproduction of QEI (HPCA 2021).
+
+QEI is a generic, near-cache query accelerator: data-structure lookups are
+abstracted into configurable finite automata (CFAs) executed by a small
+engine (QST + CEE + DPU) integrated next to each core's L2, with comparators
+distributed into the LLC's caching-and-home agents.
+
+Public entry points:
+
+* :class:`repro.config.SystemConfig` — the simulated machine (Tab. II).
+* :class:`repro.system.System` — builds the machine for one integration
+  scheme and runs workload regions-of-interest on it.
+* :mod:`repro.workloads` — the five paper benchmarks.
+* :mod:`repro.analysis` — one driver per paper figure/table.
+"""
+
+from .config import IntegrationScheme, QeiConfig, SystemConfig, small_config
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntegrationScheme",
+    "QeiConfig",
+    "ReproError",
+    "SystemConfig",
+    "small_config",
+    "__version__",
+]

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Regenerates any paper table/figure or ablation from the shell::
+
+    python -m repro list
+    python -m repro fig7 --workloads dpdk jvm
+    python -m repro tab3
+    python -m repro ablation-qst --full
+
+Results print as the same fixed-width tables the benchmark harness shows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .analysis import (
+    fig1_profiling,
+    fig7_speedup,
+    fig8_latency_sweep,
+    fig9_end_to_end,
+    fig10_tuple_space,
+    fig11_instruction_count,
+    fig12_dynamic_power,
+    tab1_schemes,
+    tab2_config,
+    tab3_area_power,
+)
+from .analysis.ablations import (
+    batch_size_sweep,
+    comparator_placement,
+    flush_cost_study,
+    huge_page_study,
+    micro_tlb_ablation,
+    prefetch_sensitivity,
+    noc_hotspot_study,
+    qst_size_sweep,
+)
+from .analysis.interference import corun_interference
+from .analysis.scalability import scalability_study
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": fig1_profiling,
+    "fig7": fig7_speedup,
+    "fig8": fig8_latency_sweep,
+    "fig9": fig9_end_to_end,
+    "fig10": fig10_tuple_space,
+    "fig11": fig11_instruction_count,
+    "fig12": fig12_dynamic_power,
+    "tab1": tab1_schemes,
+    "tab2": tab2_config,
+    "tab3": tab3_area_power,
+    "ablation-qst": qst_size_sweep,
+    "ablation-comparators": comparator_placement,
+    "ablation-noc": noc_hotspot_study,
+    "ablation-batch": batch_size_sweep,
+    "ablation-microtlb": micro_tlb_ablation,
+    "ablation-flush": flush_cost_study,
+    "ablation-prefetch": prefetch_sensitivity,
+    "ablation-hugepages": huge_page_study,
+    "scalability": scalability_study,
+    "interference": corun_interference,
+}
+
+#: Experiments that accept quick/full and workload filters.
+TAKES_QUICK = {
+    "fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "ablation-qst", "ablation-comparators", "ablation-noc",
+    "ablation-batch", "ablation-microtlb", "ablation-prefetch",
+    "ablation-hugepages",
+    "interference",
+}
+TAKES_WORKLOADS = {"fig1", "fig7", "fig8", "fig9", "fig11", "fig12"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce QEI (HPCA 2021) tables, figures and ablations.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment id, 'list' to enumerate, or 'all' to run everything",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use full workload sizes (slower; default is the quick sizes)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        help="restrict to these workloads (dpdk jvm rocksdb snort flann)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as JSON instead of tables",
+    )
+    return parser
+
+
+def run_one(name: str, args: argparse.Namespace) -> None:
+    driver = EXPERIMENTS[name]
+    kwargs = {}
+    if name in TAKES_QUICK:
+        kwargs["quick"] = not args.full
+    if name in TAKES_WORKLOADS and args.workloads:
+        kwargs["workloads"] = args.workloads
+    result = driver(**kwargs)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "experiment": result.experiment,
+                    "title": result.title,
+                    "rows": result.rows,
+                    "notes": result.notes,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(result.format())
+        print()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name, driver in sorted(EXPERIMENTS.items()):
+            doc = (driver.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<{width}}  {doc}")
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            run_one(name, args)
+        return 0
+    run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

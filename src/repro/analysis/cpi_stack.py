@@ -1,0 +1,76 @@
+"""CPI-stack decomposition of a core run (Sniper-style cycle accounting).
+
+The paper's motivation rests on top-down analysis: hash-table queries are
+*backend* bound, pointer-chasing queries are *frontend* bound (Sec. II-A).
+This module decomposes a :class:`~repro.cpu.core.CoreResult` into the same
+categories so the claim can be checked on our own runs:
+
+* **base** — instructions / issue width (the ideal pipeline),
+* **branch** — misprediction redirects,
+* **frontend** — explicit instruction-supply stalls,
+* **memory** — the remainder, attributed to data-access latency the OoO
+  window could not hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import CoreConfig
+from ..cpu.core import CoreResult
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """One run's cycle breakdown (cycles, not CPI, for easy summing)."""
+
+    total: int
+    base: float
+    branch: float
+    frontend: float
+    memory: float
+
+    def shares(self) -> Dict[str, float]:
+        """Each category's share of total cycles, in [0, 1]."""
+        if self.total <= 0:
+            return {"base": 0.0, "branch": 0.0, "frontend": 0.0, "memory": 0.0}
+        return {
+            "base": self.base / self.total,
+            "branch": self.branch / self.total,
+            "frontend": self.frontend / self.total,
+            "memory": self.memory / self.total,
+        }
+
+    def dominant(self) -> str:
+        """The non-base category with the largest share."""
+        shares = self.shares()
+        return max(("branch", "frontend", "memory"), key=shares.__getitem__)
+
+    def format(self) -> str:
+        shares = self.shares()
+        parts = "  ".join(
+            f"{name}={shares[name]:.0%}" for name in ("base", "branch", "frontend", "memory")
+        )
+        return f"cycles={self.total}  {parts}"
+
+
+def cpi_stack(result: CoreResult, config: CoreConfig) -> CpiStack:
+    """Decompose a core run's cycles into stack components.
+
+    The decomposition is attribution, not simulation: base is the
+    issue-width bound, branch and frontend use the run's own event counts,
+    and memory absorbs the remainder (bounded below at zero — overlapped
+    categories can oversubscribe slightly in pathological traces).
+    """
+    base = result.instructions / config.issue_width
+    branch = result.branch_mispredicts * config.branch_mispredict_cycles
+    frontend = float(result.frontend_stall_cycles)
+    memory = max(0.0, result.cycles - base - branch - frontend)
+    return CpiStack(
+        total=result.cycles,
+        base=base,
+        branch=branch,
+        frontend=frontend,
+        memory=memory,
+    )

@@ -1,0 +1,60 @@
+"""Result container and table formatting for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One figure/table's reproduced data."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: Any) -> Optional[Dict[str, Any]]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def format(self) -> str:
+        """Render as a fixed-width table, paper style."""
+        widths = {
+            c: max(
+                len(str(c)),
+                max((len(_fmt(r.get(c))) for r in self.rows), default=0),
+            )
+            for c in self.columns
+        }
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = "  ".join(str(c).ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in self.columns)
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)

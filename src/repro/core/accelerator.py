@@ -1,0 +1,432 @@
+"""The QEI accelerator: QST + CFA Execution Engine + DPU (Sec. IV).
+
+The engine follows the paper's pipelined-CFA design: every cycle the CEE
+selects one ready QST entry (FIFO), executes one state transition, and —
+when the transition carries a micro-operation — hands the op to memory or a
+DPU element.  The entry becomes ready again when its micro-op completes, so
+many queries overlap their memory latencies (the time-multiplexed OoO
+continuation of Sec. IV-B).
+
+Functional execution happens alongside timing: ``MemRead`` really reads the
+simulated address space into scratch, ``Compare`` really memcmps, and the
+final ``Done`` value is the architecturally correct query result — tests
+cross-check it against the pure software reference.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..errors import AcceleratorError, MemoryError_, QstOverflowError
+from ..mem.paging import AddressSpace
+from ..sim.engine import Engine
+from ..sim.stats import StatsRegistry
+from .cfa import (
+    AluOp,
+    Compare,
+    Done,
+    Fault,
+    FirmwareImage,
+    HashOp,
+    MemRead,
+    MicroAction,
+    QueryContext,
+    RESULT_ABORTED,
+    RESULT_FAULT,
+    RESULT_FOUND,
+    RESULT_NOT_FOUND,
+    STATE_DONE,
+    STATE_EXCEPTION,
+)
+from ..datastructs.hashing import fnv1a64
+from .integration import Integration
+from .qst import QstEntry, QueryStateTable
+
+#: Value written alongside the status flag for "not found" results.
+NOT_FOUND_SENTINEL = 0
+
+
+class QueryStatus(enum.Enum):
+    PENDING = "pending"
+    FOUND = "found"
+    NOT_FOUND = "not_found"
+    FAULT = "fault"
+    ABORTED = "aborted"
+
+
+@dataclass
+class QueryRequest:
+    """One QUERY instruction's operands."""
+
+    header_addr: int
+    key_addr: int
+    core_id: int = 0
+    blocking: bool = True
+    result_addr: int = 0
+
+
+@dataclass
+class QueryHandle:
+    """Tracks one submitted query through completion."""
+
+    request: QueryRequest
+    submit_cycle: int
+    accept_cycle: Optional[int] = None
+    completion_cycle: Optional[int] = None
+    status: QueryStatus = QueryStatus.PENDING
+    value: Optional[int] = None
+    fault_detail: str = ""
+    _callbacks: List[Callable[["QueryHandle"], None]] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.status is not QueryStatus.PENDING
+
+    def on_done(self, callback: Callable[["QueryHandle"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _finish(self, status: QueryStatus, cycle: int, value: Optional[int]) -> None:
+        self.status = status
+        self.completion_cycle = cycle
+        self.value = value
+        for callback in self._callbacks:
+            callback(self)
+        self._callbacks.clear()
+
+
+class QeiAccelerator:
+    """One QEI instance (its QST/CEE), timed on a shared event engine.
+
+    For the per-core Core-integrated scheme, build one accelerator per core;
+    for CHA/device schemes the single instance models the distributed or
+    centralized hardware, with per-query homes chosen by the integration.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        firmware: FirmwareImage,
+        integration: Integration,
+        space: AddressSpace,
+        *,
+        qst_entries: int,
+        stats: Optional[StatsRegistry] = None,
+        name: str = "qei",
+    ) -> None:
+        self.engine = engine
+        self.firmware = firmware
+        self.integration = integration
+        self.space = space
+        registry = stats or StatsRegistry()
+        self.stats = registry.scoped(name)
+        self.qst = QueryStateTable(qst_entries, stats=self.stats)
+        self._query_queue: Deque[QueryHandle] = deque()
+        # One CEE clock per accelerator instance: keyed by the home node, so
+        # distributed (per-CHA / per-core) engines pipeline independently.
+        self._cee_free_at: Dict[int, int] = {}
+        self._entry_handles: Dict[int, QueryHandle] = {}
+        self._steps = self.stats.counter("cee.steps")
+        self._completed = self.stats.counter("queries.completed")
+        self._faulted = self.stats.counter("queries.faulted")
+        self._latency = self.stats.histogram("query.latency")
+        self._uop_counts = {
+            "mem": self.stats.counter("uops.mem"),
+            "compare": self.stats.counter("uops.compare"),
+            "hash": self.stats.counter("uops.hash"),
+            "alu": self.stats.counter("uops.alu"),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Submission (driven by the QUERY instructions)
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: QueryRequest, issue_cycle: int) -> QueryHandle:
+        """Issue a query at ``issue_cycle`` (clamped to engine time)."""
+        handle = QueryHandle(request, submit_cycle=issue_cycle)
+        home = self.integration.home_node(
+            request.core_id, request.header_addr, request.key_addr
+        )
+        arrival = max(self.engine.now, issue_cycle) + self.integration.submit_latency(
+            request.core_id, home
+        )
+        handle._home = home  # type: ignore[attr-defined]
+        self.engine.schedule_at(
+            max(arrival, self.engine.now), lambda: self._arrive(handle)
+        )
+        return handle
+
+    def _arrive(self, handle: QueryHandle) -> None:
+        self._query_queue.append(handle)
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        while self._query_queue:
+            handle = self._query_queue[0]
+            ctx = QueryContext(
+                header_addr=handle.request.header_addr,
+                key_addr=handle.request.key_addr,
+            )
+            entry = self.qst.allocate(
+                ctx,
+                blocking=handle.request.blocking,
+                result_addr=handle.request.result_addr,
+                now=self.engine.now,
+            )
+            if entry is None:
+                return  # QST full; retried on the next release
+            self._query_queue.popleft()
+            handle.accept_cycle = self.engine.now
+            self._entry_handles[entry.index] = handle
+            self._schedule_step(entry, self.engine.now)
+
+    # ------------------------------------------------------------------ #
+    # CEE: one state transition per cycle for one ready entry
+    # ------------------------------------------------------------------ #
+
+    def _schedule_step(self, entry: QstEntry, earliest: int) -> None:
+        handle = self._entry_handles[entry.index]
+        home = handle._home  # type: ignore[attr-defined]
+        start = max(earliest, self._cee_free_at.get(home, 0), self.engine.now)
+        self._cee_free_at[home] = start + 1
+        self.engine.schedule_at(start, lambda: self._step(entry))
+
+    def _step(self, entry: QstEntry) -> None:
+        if not entry.busy or entry.ctx is None:
+            return  # flushed while waiting
+        ctx = entry.ctx
+        handle = self._entry_handles[entry.index]
+        self._steps.add()
+        program = None
+        try:
+            # The header's type selects the CFA program; before the header is
+            # parsed we must peek at the request (START state) generically.
+            type_code = ctx.header.type_code if ctx.header else self._peek_type(ctx)
+            program = self.firmware.program_for(type_code)
+            outcome = program.step(ctx)
+        except MemoryError_ as fault:
+            self._fault(entry, handle, str(fault))
+            return
+        except Exception as exc:  # noqa: BLE001 - firmware bugs become faults
+            self._fault(entry, handle, f"firmware error: {exc}")
+            return
+        ctx.state = outcome.next_state
+        if outcome.action is None:
+            self._schedule_step(entry, self.engine.now + 1)
+            return
+        try:
+            self._issue(entry, handle, outcome.action)
+        except MemoryError_ as fault:
+            self._fault(entry, handle, str(fault))
+
+    def _peek_type(self, ctx: QueryContext) -> int:
+        """Read the type byte functionally to pick the program for START.
+
+        Architecturally the CEE's generic metadata-fetch microcode runs
+        before type dispatch; using the (already validated at PARSE) type
+        byte here keeps the Python dispatch simple without changing timing.
+        """
+        return self.space.read_u8(ctx.header_addr + 8)
+
+    # ------------------------------------------------------------------ #
+    # Micro-operation issue
+    # ------------------------------------------------------------------ #
+
+    def _issue(self, entry: QstEntry, handle: QueryHandle, action: MicroAction) -> None:
+        now = self.engine.now
+        home = handle._home  # type: ignore[attr-defined]
+        core_id = handle.request.core_id
+        integ = self.integration
+
+        if isinstance(action, Done):
+            self._complete(entry, handle, action.value)
+            return
+        if isinstance(action, Fault):
+            self._fault(entry, handle, action.detail or "CFA fault")
+            return
+
+        if isinstance(action, MemRead):
+            self._uop_counts["mem"].add()
+            latency = 0
+            for vaddr, length, tag in action.segments():
+                length = self._usable_length(vaddr, length, action.optional_after)
+                seg_latency = integ.mem_read(vaddr, length, now, home, core_id)
+                entry.ctx.scratch[tag] = self.space.read(vaddr, length)
+                latency = max(latency, seg_latency)
+            self._resume_after(entry, now + max(1, latency))
+            return
+
+        if isinstance(action, Compare):
+            self._uop_counts["compare"].add()
+            latency = integ.compare(
+                action.mem_vaddr, action.key_vaddr, action.length, now, home, core_id
+            )
+            stored = self.space.read(action.mem_vaddr, action.length)
+            key = self.space.read(action.key_vaddr, action.length)
+            result = (stored > key) - (stored < key)
+            entry.ctx.results[action.tag] = result
+            self._resume_after(entry, now + max(1, latency))
+            return
+
+        if isinstance(action, HashOp):
+            self._uop_counts["hash"].add()
+            data = entry.ctx.scratch[action.key_tag]
+            done = integ.hash_unit.hash(now, len(data))
+            entry.ctx.results[action.tag] = fnv1a64(data)
+            self._resume_after(entry, done)
+            return
+
+        if isinstance(action, AluOp):
+            self._uop_counts["alu"].add()
+            done = integ.alus.alu(now, action.cycles)
+            self._resume_after(entry, done)
+            return
+
+        raise AcceleratorError(f"unknown micro-action {action!r}")
+
+    def _usable_length(
+        self, vaddr: int, length: int, optional_after: Optional[int]
+    ) -> int:
+        """Truncate a speculative cacheline fetch at unmapped pages.
+
+        The first ``optional_after`` bytes are architecturally required and
+        fault normally; the rest of the line is fetched only while its pages
+        are mapped (hardware never crosses into an unmapped page).
+        """
+        if optional_after is None:
+            return length
+        page = self.space.page_bytes
+        usable = optional_after
+        while usable < length:
+            if not self.space.is_mapped(vaddr + usable):
+                break
+            step = page - (vaddr + usable) % page
+            usable = min(length, usable + step)
+        return usable
+
+    def _resume_after(self, entry: QstEntry, ready_at: int) -> None:
+        self.engine.schedule_at(
+            max(ready_at, self.engine.now),
+            lambda: self._schedule_step(entry, self.engine.now),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Completion paths
+    # ------------------------------------------------------------------ #
+
+    def _complete(self, entry: QstEntry, handle: QueryHandle, value: Optional[int]) -> None:
+        now = self.engine.now
+        home = handle._home  # type: ignore[attr-defined]
+        request = handle.request
+        status = QueryStatus.FOUND if value is not None else QueryStatus.NOT_FOUND
+        if request.blocking:
+            finish = now + self.integration.return_latency(request.core_id, home)
+        else:
+            finish = now + self._write_result(
+                request, RESULT_FOUND if value is not None else RESULT_NOT_FOUND,
+                value if value is not None else NOT_FOUND_SENTINEL, now, home,
+            )
+        self._completed.add()
+        self._latency.record(finish - handle.submit_cycle)
+        self._release(entry)
+        self.engine.schedule_at(
+            max(finish, now), lambda: handle._finish(status, max(finish, now), value)
+        )
+
+    def _fault(self, entry: QstEntry, handle: QueryHandle, detail: str) -> None:
+        now = self.engine.now
+        home = handle._home  # type: ignore[attr-defined]
+        request = handle.request
+        entry.ctx.state = STATE_EXCEPTION
+        if request.blocking:
+            finish = now + self.integration.return_latency(request.core_id, home)
+        else:
+            finish = now + self._write_result(request, RESULT_FAULT, 0, now, home)
+        handle.fault_detail = detail
+        self._faulted.add()
+        self._release(entry)
+        self.engine.schedule_at(
+            max(finish, now),
+            lambda: handle._finish(QueryStatus.FAULT, max(finish, now), None),
+        )
+
+    def _write_result(
+        self, request: QueryRequest, code: int, value: int, now: int, home: int
+    ) -> int:
+        """Write the 16B {status, value} record for non-blocking queries."""
+        if not request.result_addr:
+            raise AcceleratorError("non-blocking query without a result address")
+        self.space.write_u64(request.result_addr, code)
+        self.space.write_u64(request.result_addr + 8, value)
+        return self.integration.mem_write(request.result_addr, 16, now, home, request.core_id)
+
+    def _release(self, entry: QstEntry) -> None:
+        self._entry_handles.pop(entry.index, None)
+        self.qst.release(entry)
+        self._drain_queue()
+
+    # ------------------------------------------------------------------ #
+    # Interrupt flush (Sec. IV-D)
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> int:
+        """Abort all in-flight queries; returns the cycle the flush finished.
+
+        Blocking queries are simply dropped (the core flushes them with the
+        pipeline).  Each non-blocking query writes an abort code to its
+        result address with a non-temporal store; the flush is complete once
+        those stores' addresses are translated (Sec. IV-D).
+        """
+        now = self.engine.now
+        finish = now
+        nb_index = 0
+        for entry in list(self.qst.busy_entries()):
+            handle = self._entry_handles.get(entry.index)
+            if handle is None:
+                continue
+            if not entry.mode_blocking:
+                # The flush completes once every abort store's address has
+                # been translated (Sec. IV-D); the translation port handles
+                # one store per cycle, so the stores issue back to back.
+                start = now + nb_index
+                nb_index += 1
+                latency = self._write_result(
+                    handle.request, RESULT_ABORTED, 0, start, handle._home  # type: ignore[attr-defined]
+                )
+                finish = max(finish, start + latency)
+            status = QueryStatus.ABORTED
+            self._entry_handles.pop(entry.index, None)
+            self.qst.release(entry)
+            handle._finish(status, now, None)
+        for queued in list(self._query_queue):
+            queued._finish(QueryStatus.ABORTED, now, None)
+        self._query_queue.clear()
+        self.integration.flush_translations()
+        return finish
+
+    # ------------------------------------------------------------------ #
+
+    def wait_for(self, handle: QueryHandle) -> int:
+        """Advance the simulation until ``handle`` completes."""
+        guard = 0
+        while not handle.done:
+            if not self.engine.step():
+                raise AcceleratorError(
+                    "simulation drained with query still pending "
+                    f"(state queue empty at cycle {self.engine.now})"
+                )
+            guard += 1
+            if guard > 10_000_000:
+                raise AcceleratorError("query did not converge; runaway CFA?")
+        assert handle.completion_cycle is not None
+        return handle.completion_cycle
+
+    def drain(self) -> int:
+        """Run until every submitted query has completed."""
+        self.engine.run()
+        return self.engine.now

@@ -1,0 +1,236 @@
+"""The configurable-finite-automaton (CFA) model (paper Sec. III).
+
+A CFA has *fixed transition rules but configurable parameters*: each
+data-structure type maps to one :class:`CfaProgram` whose states are driven
+by the CFA Execution Engine.  Every step either performs an internal
+transition (one CEE cycle) or issues exactly one micro-operation to the Data
+Processing Unit / memory system:
+
+* :class:`MemRead` — cacheline-granular memory fetch into QST scratch;
+* :class:`Compare` — (possibly remote, near-LLC) key comparison;
+* :class:`HashOp` — the DPU hashing unit;
+* :class:`AluOp` — arithmetic/logic on intermediate data;
+* :class:`Done` / :class:`Fault` — terminal transitions.
+
+Programs are registered in a :class:`FirmwareImage`; new data structures are
+supported by registering new programs at runtime — the paper's
+firmware-update path (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import FirmwareError
+from .header import DataStructureHeader
+
+#: Architectural states shared by every program (Sec. IV-C / IV-D).
+STATE_IDLE = "IDLE"
+STATE_START = "START"
+STATE_DONE = "DONE"
+STATE_EXCEPTION = "EXCEPTION"
+
+#: Result encodings written for non-blocking queries.
+RESULT_PENDING = 0
+RESULT_FOUND = 1
+RESULT_NOT_FOUND = 2
+RESULT_FAULT = 3
+RESULT_ABORTED = 4
+
+
+# --------------------------------------------------------------------- #
+# Micro-operation vocabulary
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MemRead:
+    """Fetch ``length`` bytes at ``vaddr`` into scratch slot ``tag``.
+
+    Multiple segments may be fetched concurrently (the paper's CFA issues
+    the key and starting-node reads in parallel, Fig. 3 step 1): pass extra
+    ``(vaddr, length, tag)`` tuples in ``also``.
+
+    ``optional_after`` marks speculative tail bytes: fetches are cacheline
+    granular, so a program may ask for a whole line knowing only the first
+    N bytes are architecturally required; the engine truncates the fetch at
+    an unmapped page instead of faulting, provided at least
+    ``optional_after`` bytes were read.
+    """
+
+    vaddr: int
+    length: int
+    tag: str
+    also: Tuple[Tuple[int, int, str], ...] = ()
+    optional_after: Optional[int] = None
+
+    def segments(self) -> Iterable[Tuple[int, int, str]]:
+        yield self.vaddr, self.length, self.tag
+        yield from self.also
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Compare ``length`` bytes at ``mem_vaddr`` against ``key_vaddr``.
+
+    Executed by a DPU comparator.  In distributed schemes the comparator
+    lives in the data's home CHA and reads straight from the LLC slice; in
+    device schemes the lines travel to the device's local comparators.
+    The three-way outcome (<, =, >) lands in ``ctx.results[tag]``.
+    """
+
+    mem_vaddr: int
+    key_vaddr: int
+    length: int
+    tag: str
+
+
+@dataclass(frozen=True)
+class HashOp:
+    """Hash ``length`` bytes already staged in scratch slot ``key_tag``."""
+
+    key_tag: str
+    tag: str
+    kind: str = "fnv1a"
+
+
+@dataclass(frozen=True)
+class AluOp:
+    """Arithmetic on intermediate data (address math, masks)."""
+
+    cycles: int = 1
+
+
+@dataclass(frozen=True)
+class Done:
+    """Terminal: query finished with ``value`` (None = not found)."""
+
+    value: Optional[int]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Terminal: architectural exception with a result code."""
+
+    code: int = RESULT_FAULT
+    detail: str = ""
+
+
+MicroAction = Union[MemRead, Compare, HashOp, AluOp, Done, Fault]
+
+
+@dataclass
+class StepOutcome:
+    """What one CEE step did: an optional micro-op and the next state."""
+
+    next_state: str
+    action: Optional[MicroAction] = None
+
+
+# --------------------------------------------------------------------- #
+# Per-query context (backs one QST entry)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class QueryContext:
+    """All mutable per-query state a CFA program may touch.
+
+    ``scratch`` models the QST entry's 64B intermediate-data field plus the
+    architectural registers a microcoded engine would keep; programs store
+    fetched bytes and small integers here.  ``results`` holds comparator
+    and hash-unit outputs keyed by tag.
+    """
+
+    header_addr: int
+    key_addr: int
+    state: str = STATE_START
+    header: Optional[DataStructureHeader] = None
+    key: bytes = b""
+    scratch: Dict[str, bytes] = field(default_factory=dict)
+    results: Dict[str, int] = field(default_factory=dict)
+    vars: Dict[str, int] = field(default_factory=dict)
+    #: Filled on termination.
+    value: Optional[int] = None
+    fault_code: int = 0
+    fault_detail: str = ""
+
+    def scratch_u64(self, tag: str, offset: int = 0) -> int:
+        data = self.scratch[tag]
+        return int.from_bytes(data[offset : offset + 8], "little")
+
+
+# --------------------------------------------------------------------- #
+# Programs and firmware
+# --------------------------------------------------------------------- #
+
+
+class CfaProgram:
+    """Base class for one data structure's query CFA.
+
+    Subclasses set :attr:`TYPE_CODE`, :attr:`NAME` and :attr:`STATES`, and
+    implement :meth:`step`, which is invoked by the CEE each time the query's
+    QST entry is selected.  ``step`` inspects ``ctx.state`` (and scratch
+    contents filled by completed micro-ops) and returns a
+    :class:`StepOutcome`.
+    """
+
+    TYPE_CODE: int = 0
+    NAME: str = "abstract"
+    STATES: Tuple[str, ...] = ()
+
+    def step(self, ctx: QueryContext) -> StepOutcome:
+        raise NotImplementedError
+
+    def validate(self, max_states: int) -> None:
+        """Check the program fits the QST's state-field encoding."""
+        if not self.STATES:
+            raise FirmwareError(f"program {self.NAME!r} declares no states")
+        if len(self.STATES) > max_states:
+            raise FirmwareError(
+                f"program {self.NAME!r} has {len(self.STATES)} states; the QST "
+                f"state field encodes at most {max_states}"
+            )
+        required = {STATE_START, STATE_DONE}
+        missing = required - set(self.STATES)
+        if missing:
+            raise FirmwareError(
+                f"program {self.NAME!r} missing architectural states {missing}"
+            )
+
+
+class FirmwareImage:
+    """The CEE's loaded state-transition rules, keyed by structure type.
+
+    The engine is microcoded and configurable: :meth:`register` is the
+    firmware-update path for emerging data structures (Sec. IV-B).
+    """
+
+    def __init__(self, *, max_states: int = 256) -> None:
+        self.max_states = max_states
+        self._programs: Dict[int, CfaProgram] = {}
+
+    def register(self, program: CfaProgram, *, replace: bool = False) -> None:
+        program.validate(self.max_states)
+        if program.TYPE_CODE in self._programs and not replace:
+            raise FirmwareError(
+                f"type code {program.TYPE_CODE} already has a program "
+                f"({self._programs[program.TYPE_CODE].NAME!r}); "
+                "pass replace=True to update firmware"
+            )
+        self._programs[program.TYPE_CODE] = program
+
+    def program_for(self, type_code: int) -> CfaProgram:
+        try:
+            return self._programs[type_code]
+        except KeyError as exc:
+            raise FirmwareError(
+                f"no CFA program loaded for structure type {type_code}"
+            ) from exc
+
+    def supports(self, type_code: int) -> bool:
+        return type_code in self._programs
+
+    def types(self) -> List[int]:
+        return sorted(self._programs)

@@ -1,0 +1,120 @@
+"""The 64-byte data-structure metadata header (paper Fig. 4, Sec. III-B).
+
+Software populates one cacheline of metadata per queried data structure; the
+accelerator's CFA parses it before executing a query.  Fields:
+
+====== ===== =====================================================
+offset size  field
+====== ===== =====================================================
+0      8     root pointer (start of the data structure)
+8      1     type (selects the CFA program)
+9      1     subtype (per-type parameter, e.g. entries per bucket)
+10     2     key length in bytes
+12     4     flags
+16     8     size (static structures: bucket count / node count)
+24     8     aux pointer (per-type, e.g. skip-list max level)
+32     32    reserved for future extension
+====== ===== =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import DataStructureError
+from ..mem.paging import AddressSpace
+
+HEADER_BYTES = 64
+
+#: flags
+FLAG_VALID = 0x1
+FLAG_READ_ONLY = 0x2
+
+
+class StructureType(enum.IntEnum):
+    """Built-in data-structure type codes understood by QEI firmware."""
+
+    LINKED_LIST = 1
+    HASH_TABLE = 2
+    SKIP_LIST = 3
+    BINARY_TREE = 4
+    TRIE = 5
+    #: Combined structure example from Sec. III-A: hash table of lists.
+    HASH_OF_LISTS = 6
+    #: Database index extension (firmware add-on, like HASH_OF_LISTS).
+    BPLUS_TREE = 7
+
+
+@dataclass(frozen=True)
+class DataStructureHeader:
+    """Decoded header contents."""
+
+    root_ptr: int
+    type_code: int
+    subtype: int
+    key_length: int
+    flags: int
+    size: int
+    aux: int
+
+    @property
+    def structure_type(self) -> StructureType:
+        try:
+            return StructureType(self.type_code)
+        except ValueError as exc:
+            raise DataStructureError(
+                f"unknown structure type code {self.type_code}"
+            ) from exc
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.flags & FLAG_VALID)
+
+    # ------------------------------------------------------------------ #
+
+    def encode(self) -> bytes:
+        """Serialise to the 64B on-memory layout."""
+        if not 0 <= self.key_length < 2**16:
+            raise DataStructureError(f"key_length {self.key_length} out of range")
+        if not 0 <= self.type_code < 256 or not 0 <= self.subtype < 256:
+            raise DataStructureError("type/subtype must fit one byte")
+        out = bytearray(HEADER_BYTES)
+        out[0:8] = self.root_ptr.to_bytes(8, "little")
+        out[8] = self.type_code
+        out[9] = self.subtype
+        out[10:12] = self.key_length.to_bytes(2, "little")
+        out[12:16] = self.flags.to_bytes(4, "little")
+        out[16:24] = self.size.to_bytes(8, "little")
+        out[24:32] = self.aux.to_bytes(8, "little")
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "DataStructureHeader":
+        if len(raw) < HEADER_BYTES:
+            raise DataStructureError(
+                f"header needs {HEADER_BYTES} bytes, got {len(raw)}"
+            )
+        return cls(
+            root_ptr=int.from_bytes(raw[0:8], "little"),
+            type_code=raw[8],
+            subtype=raw[9],
+            key_length=int.from_bytes(raw[10:12], "little"),
+            flags=int.from_bytes(raw[12:16], "little"),
+            size=int.from_bytes(raw[16:24], "little"),
+            aux=int.from_bytes(raw[24:32], "little"),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def store(self, space: AddressSpace, vaddr: int) -> None:
+        """Write the header into simulated memory at ``vaddr``."""
+        if vaddr % HEADER_BYTES:
+            raise DataStructureError(
+                "header must be cacheline aligned (single-cacheline metadata)"
+            )
+        space.write(vaddr, self.encode())
+
+    @classmethod
+    def load(cls, space: AddressSpace, vaddr: int) -> "DataStructureHeader":
+        return cls.decode(space.read(vaddr, HEADER_BYTES))

@@ -1,0 +1,161 @@
+"""QUERY instruction semantics: the core <-> accelerator boundary (Sec. IV-A).
+
+``QUERY_B reg.key/result mem.header_addr`` behaves like a long-latency load:
+it occupies a load-queue slot and blocks retirement until the accelerator
+returns the result.  ``QUERY_NB impl_reg.header mem.result reg.key`` behaves
+like a store: it retires as soon as the accelerator accepts the request, and
+software later polls the result address (SNAPSHOT_READ-style wide polls).
+
+:class:`QueryPort` adapts a :class:`~repro.core.accelerator.QeiAccelerator`
+to the core timing model's external-resolver protocol.  Completions are
+returned as :class:`CompletionPromise` objects so the core model keeps
+dispatching past an outstanding query — submitting the following queries to
+the accelerator — and only forces the co-simulation forward when a
+dependent instruction (or the ROB window) actually needs the result.  That
+mirrors how the OoO core overlaps blocking queries in small batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..cpu.isa import MicroOp, OpKind
+from ..errors import AcceleratorError
+from .accelerator import QeiAccelerator, QueryHandle, QueryRequest
+
+#: Cycles for a QUERY_NB to hand its operands to the accelerator and retire.
+NB_ACCEPT_CYCLES = 3
+#: Instruction cost of one wide SNAPSHOT_READ poll round (load + mask test).
+POLL_INSTRUCTIONS = 3
+#: Results checked per SNAPSHOT_READ (512-bit register / 64-bit flags).
+RESULTS_PER_POLL = 8
+
+
+@dataclass(frozen=True)
+class QueryOperands:
+    """Architectural operands of one QUERY instruction."""
+
+    header_addr: int
+    key_addr: int
+    result_addr: int = 0
+
+
+@dataclass
+class NbBatch:
+    """A software-managed batch of non-blocking queries to poll together."""
+
+    result_base: int
+    handles: List[QueryHandle] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+
+class CompletionPromise:
+    """Lazily-resolved completion time of an external operation."""
+
+    __slots__ = ("_resolver", "_value")
+
+    def __init__(self, resolver) -> None:
+        self._resolver = resolver
+        self._value: Optional[int] = None
+
+    def resolve(self) -> int:
+        if self._value is None:
+            self._value = int(self._resolver())
+            self._resolver = None
+        return self._value
+
+
+CompletionLike = Union[int, CompletionPromise]
+
+
+class QueryPort:
+    """The external resolver wiring QUERY micro-ops to one accelerator."""
+
+    def __init__(self, accelerator: QeiAccelerator, core_id: int = 0) -> None:
+        self.accelerator = accelerator
+        self.core_id = core_id
+        self.handles: List[QueryHandle] = []
+
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, op: MicroOp, issue_cycle: int) -> Tuple[CompletionLike, int]:
+        if op.kind is OpKind.QUERY_B:
+            return self._query_b(op.payload, issue_cycle)
+        if op.kind is OpKind.QUERY_NB:
+            return self._query_nb(op.payload, issue_cycle)
+        if op.kind is OpKind.WAIT_RESULT:
+            return self._wait_result(op.payload, issue_cycle)
+        raise AcceleratorError(f"QueryPort cannot resolve {op.kind}")
+
+    # ------------------------------------------------------------------ #
+
+    def _query_b(self, payload, issue_cycle: int):
+        operands = self._operands_of(payload)
+        handle = self.accelerator.submit(
+            QueryRequest(
+                header_addr=operands.header_addr,
+                key_addr=operands.key_addr,
+                core_id=self.core_id,
+                blocking=True,
+            ),
+            issue_cycle,
+        )
+        self.handles.append(handle)
+        promise = CompletionPromise(
+            lambda: max(self.accelerator.wait_for(handle), issue_cycle)
+        )
+        return promise, 0
+
+    def _query_nb(self, payload, issue_cycle: int):
+        operands = self._operands_of(payload)
+        batch: Optional[NbBatch] = None
+        if isinstance(payload, tuple):
+            _, batch = payload
+        if not operands.result_addr:
+            raise AcceleratorError("QUERY_NB requires a result address")
+        handle = self.accelerator.submit(
+            QueryRequest(
+                header_addr=operands.header_addr,
+                key_addr=operands.key_addr,
+                core_id=self.core_id,
+                blocking=False,
+                result_addr=operands.result_addr,
+            ),
+            issue_cycle,
+        )
+        self.handles.append(handle)
+        if batch is not None:
+            batch.handles.append(handle)
+        # Retires once the accelerator has the operands.
+        return issue_cycle + NB_ACCEPT_CYCLES, 0
+
+    def _wait_result(self, payload, issue_cycle: int):
+        if not isinstance(payload, NbBatch):
+            raise AcceleratorError("WAIT_RESULT payload must be an NbBatch")
+        batch = payload
+        poll_rounds = max(1, (len(batch) + RESULTS_PER_POLL - 1) // RESULTS_PER_POLL)
+        extra_instructions = poll_rounds * POLL_INSTRUCTIONS
+
+        def resolver() -> int:
+            done = issue_cycle
+            for handle in batch.handles:
+                done = max(done, self.accelerator.wait_for(handle))
+            return done
+
+        return CompletionPromise(resolver), extra_instructions
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _operands_of(payload) -> QueryOperands:
+        if isinstance(payload, QueryOperands):
+            return payload
+        if isinstance(payload, tuple) and isinstance(payload[0], QueryOperands):
+            return payload[0]
+        raise AcceleratorError(
+            "QUERY payload must be QueryOperands or (QueryOperands, NbBatch); "
+            f"got {type(payload).__name__}"
+        )

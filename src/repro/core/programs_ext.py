@@ -1,0 +1,114 @@
+"""Extension firmware: CFA programs beyond the factory image.
+
+These programs demonstrate the paper's firmware-update story (Sec. IV-B) on
+structures the accelerator did not ship with.  Register them at runtime::
+
+    system.firmware.register(BPlusTreeCfa())
+"""
+
+from __future__ import annotations
+
+from .cfa import (
+    AluOp,
+    Compare,
+    Done,
+    MemRead,
+    QueryContext,
+    StepOutcome,
+    STATE_DONE,
+)
+from .header import StructureType
+from .programs import _StandardProgram, _u64
+
+_BTREE_HEADER = 40
+_LEAF_FLAG = 0x1
+
+
+class BPlusTreeCfa(_StandardProgram):
+    """B+-tree index lookup: descend separators, scan the leaf.
+
+    Per level: fetch the node header, then compare separators one at a
+    time (the comparator provides ordered results, so the walk follows the
+    first separator greater than the key).  At the leaf, compare stored
+    keys for an exact match and read the aligned value slot.
+    """
+
+    TYPE_CODE = int(StructureType.BPLUS_TREE)
+    NAME = "bplus-tree"
+    STATES = _StandardProgram.PRELUDE_STATES + (
+        "FETCH_NODE",
+        "SEPARATOR",
+        "SEPARATOR_CHECK",
+        "LEAF_KEY",
+        "LEAF_CHECK",
+        "READ_CHILD",
+        "READ_VALUE",
+    )
+
+    def after_parse(self, ctx: QueryContext) -> StepOutcome:
+        root = ctx.header.root_ptr
+        if not root:
+            return StepOutcome(STATE_DONE, Done(None))
+        ctx.vars["node"] = root
+        return StepOutcome("FETCH_NODE", MemRead(root, _BTREE_HEADER, "node"))
+
+    def dispatch(self, ctx: QueryContext) -> StepOutcome:
+        v = ctx.vars
+        if ctx.state == "FETCH_NODE":
+            v["flags"] = ctx.scratch_u64("node", 0)
+            v["count"] = ctx.scratch_u64("node", 8)
+            v["keys_ptr"] = ctx.scratch_u64("node", 24)
+            v["slots_ptr"] = ctx.scratch_u64("node", 32)
+            v["index"] = 0
+            if v["flags"] & _LEAF_FLAG:
+                return self._leaf_step(ctx)
+            return self._separator_step(ctx)
+
+        if ctx.state == "SEPARATOR_CHECK":
+            if ctx.results["cmp"] > 0:  # separator > key: take this child
+                return self._read_child(ctx, v["index"])
+            v["index"] += 1
+            return self._separator_step(ctx)
+
+        if ctx.state == "LEAF_CHECK":
+            if ctx.results["cmp"] == 0:
+                slot = v["slots_ptr"] + 8 * v["index"]
+                return StepOutcome("READ_VALUE", MemRead(slot, 8, "value"))
+            v["index"] += 1
+            return self._leaf_step(ctx)
+
+        if ctx.state == "READ_CHILD":
+            child = ctx.scratch_u64("child")
+            v["node"] = child
+            return StepOutcome("FETCH_NODE", MemRead(child, _BTREE_HEADER, "node"))
+
+        if ctx.state == "READ_VALUE":
+            return StepOutcome(STATE_DONE, Done(ctx.scratch_u64("value")))
+
+        raise AssertionError(f"unreachable state {ctx.state}")
+
+    # ---------------- helpers ---------------- #
+
+    def _separator_step(self, ctx: QueryContext) -> StepOutcome:
+        v = ctx.vars
+        if v["index"] >= v["count"]:
+            return self._read_child(ctx, v["count"])  # rightmost child
+        sep_addr = v["keys_ptr"] + v["index"] * ctx.header.key_length
+        return StepOutcome(
+            "SEPARATOR_CHECK",
+            Compare(sep_addr, ctx.key_addr, ctx.header.key_length, "cmp"),
+        )
+
+    def _leaf_step(self, ctx: QueryContext) -> StepOutcome:
+        v = ctx.vars
+        if v["index"] >= v["count"]:
+            return StepOutcome(STATE_DONE, Done(None))
+        key_addr = v["keys_ptr"] + v["index"] * ctx.header.key_length
+        return StepOutcome(
+            "LEAF_CHECK",
+            Compare(key_addr, ctx.key_addr, ctx.header.key_length, "cmp"),
+        )
+
+    def _read_child(self, ctx: QueryContext, index: int) -> StepOutcome:
+        slot = ctx.vars["slots_ptr"] + 8 * index
+        return StepOutcome("READ_CHILD", MemRead(slot, 8, "child"))

@@ -1,0 +1,114 @@
+"""The Query State Table (paper Sec. IV-B).
+
+Each entry stores the architectural state of one in-flight query:
+``key_address`` (8B), ``result_address`` (8B, non-blocking only), ``type``
+(1B), ``state`` (1B), 64B of intermediate data, the query mode bit and the
+ready bit.  The QST acts as the scheduler table: every cycle the CEE selects
+a ready entry in FIFO order.
+
+Here the table also carries the Python-side :class:`QueryContext` that backs
+the architectural fields, and records occupancy samples for the paper's
+50%–90% occupancy claim (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import AcceleratorError
+from ..sim.stats import StatsRegistry
+from .cfa import QueryContext
+
+
+@dataclass
+class QstEntry:
+    """One in-flight query's architectural state."""
+
+    index: int
+    ctx: Optional[QueryContext] = None
+    mode_blocking: bool = True
+    result_addr: int = 0
+    ready: bool = False
+    busy: bool = False  # allocated
+    ready_since: int = 0
+
+    @property
+    def state(self) -> str:
+        return self.ctx.state if self.ctx else "IDLE"
+
+
+class QueryStateTable:
+    """Fixed-capacity table of in-flight queries with FIFO ready selection."""
+
+    def __init__(
+        self, entries: int, *, stats: Optional[StatsRegistry] = None
+    ) -> None:
+        if entries <= 0:
+            raise AcceleratorError("QST needs at least one entry")
+        self.capacity = entries
+        self._entries = [QstEntry(i) for i in range(entries)]
+        self.stats = (stats or StatsRegistry()).scoped("qst")
+        self._occupancy = self.stats.histogram("occupancy")
+        self._allocs = self.stats.counter("allocations")
+        self._releases = self.stats.counter("releases")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for e in self._entries if e.busy)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.occupancy
+
+    def sample_occupancy(self) -> None:
+        self._occupancy.record(self.occupancy / self.capacity)
+
+    def allocate(
+        self,
+        ctx: QueryContext,
+        *,
+        blocking: bool,
+        result_addr: int = 0,
+        now: int = 0,
+    ) -> Optional[QstEntry]:
+        """Claim the first empty entry; None when the table is full.
+
+        Software is responsible for tracking slot availability (Sec. IV-B);
+        the accelerator's query queue holds overflow submissions.
+        """
+        for entry in self._entries:
+            if not entry.busy:
+                entry.busy = True
+                entry.ready = True
+                entry.ready_since = now
+                entry.ctx = ctx
+                entry.mode_blocking = blocking
+                entry.result_addr = result_addr
+                self._allocs.add()
+                self.sample_occupancy()
+                return entry
+        return None
+
+    def release(self, entry: QstEntry) -> None:
+        if not entry.busy:
+            raise AcceleratorError(f"double release of QST entry {entry.index}")
+        entry.busy = False
+        entry.ready = False
+        entry.ctx = None
+        entry.result_addr = 0
+        self._releases.add()
+        self.sample_occupancy()
+
+    # ------------------------------------------------------------------ #
+
+    def busy_entries(self) -> List[QstEntry]:
+        return [e for e in self._entries if e.busy]
+
+    def non_blocking_entries(self) -> List[QstEntry]:
+        return [e for e in self._entries if e.busy and not e.mode_blocking]
+
+    def mean_occupancy(self) -> float:
+        return self._occupancy.mean

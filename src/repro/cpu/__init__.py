@@ -1,0 +1,26 @@
+"""Trace-driven out-of-order core timing model.
+
+Workloads run *functionally* against simulated memory while emitting a
+micro-op trace (loads with real virtual addresses, ALU ops, data-dependent
+branches).  The :class:`~repro.cpu.core.OoOCore` then times the trace with a
+sliding ROB-window model: independent loads overlap up to the window/LQ
+limits, dependent loads serialise, mispredicted branches stall the frontend.
+This is the mechanistic-core-model substitution for the paper's Sniper runs.
+"""
+
+from .core import CoreExecution, CoreResult, OoOCore
+from .isa import MicroOp, OpKind
+from .multicore import MulticoreResult, run_multiprogrammed
+from .trace import Trace, TraceBuilder
+
+__all__ = [
+    "CoreExecution",
+    "CoreResult",
+    "MicroOp",
+    "MulticoreResult",
+    "OoOCore",
+    "OpKind",
+    "Trace",
+    "TraceBuilder",
+    "run_multiprogrammed",
+]

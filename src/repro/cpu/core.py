@@ -1,0 +1,313 @@
+"""Sliding ROB-window out-of-order core timing model.
+
+A mechanistic model in the spirit of Sniper's interval core model: the trace
+is walked in program order; every op dispatches no faster than the issue
+width and no earlier than retirement frees its ROB slot; execution start
+waits for register dependences; loads add translation and cache-hierarchy
+latency; mispredicted branches stall the frontend for the redirect penalty.
+
+This reproduces the two behaviours the paper's analysis hinges on
+(Sec. II-A): hash-table queries extract MLP until the ROB/LQ saturates
+(backend bound), while pointer-chasing structures serialise on dependent
+loads and burn frontend bandwidth on many dynamic instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import CoreConfig
+from ..errors import SimulationError
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.mmu import Mmu
+from ..sim.stats import StatsRegistry
+from .isa import MicroOp, OpKind
+from .trace import Trace
+
+#: Resolves QUERY_B / QUERY_NB / WAIT_RESULT ops.  Receives the op and its
+#: issue cycle; returns (completion, extra_retired_instructions).  The
+#: completion may be an ``int`` cycle or a promise object exposing
+#: ``resolve() -> int`` — promises let the core keep dispatching (and keep
+#: submitting later queries to the accelerator) while earlier queries are
+#: still in flight, and only force the co-simulation when the value is
+#: actually consumed (a register dependence or the ROB window).
+ExternalResolver = Callable[[MicroOp, int], Tuple[object, int]]
+
+
+def _as_cycle(value: object) -> int:
+    """Collapse an int-or-promise completion to its cycle number."""
+    if isinstance(value, int):
+        return value
+    return value.resolve()  # type: ignore[union-attr]
+
+
+@dataclass
+class CoreResult:
+    """Timing outcome of one trace execution."""
+
+    cycles: int
+    instructions: int
+    start_cycle: int
+    end_cycle: int
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    queries_issued: int = 0
+    level_breakdown: Dict[str, int] = field(default_factory=dict)
+    memory_cycles: int = 0
+    frontend_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OoOCore:
+    """One out-of-order core executing micro-op traces."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        mmu: Mmu,
+        *,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self.mmu = mmu
+        self.stats = (stats or StatsRegistry()).scoped(f"core{core_id}")
+        self._retired = self.stats.counter("instructions")
+        self._cycles = self.stats.counter("cycles")
+
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        trace: Trace,
+        *,
+        start_cycle: int = 0,
+        external: Optional[ExternalResolver] = None,
+    ) -> CoreResult:
+        """Time the trace; returns aggregate and breakdown statistics."""
+        execution = CoreExecution(
+            self, trace, start_cycle=start_cycle, external=external
+        )
+        while not execution.finished:
+            execution.step()
+        return execution.finish()
+
+    def begin(
+        self,
+        trace: Trace,
+        *,
+        start_cycle: int = 0,
+        external: Optional[ExternalResolver] = None,
+    ) -> "CoreExecution":
+        """Start an incremental execution (for multicore interleaving)."""
+        return CoreExecution(self, trace, start_cycle=start_cycle, external=external)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute_op(
+        self,
+        op: MicroOp,
+        ready: int,
+        result: CoreResult,
+        external: Optional[ExternalResolver],
+    ) -> object:
+        if op.kind is OpKind.ALU:
+            return ready + (op.latency_override or 1)
+
+        if op.kind is OpKind.IFETCH_STALL:
+            # The fetch unit stalls for the given cycles from dispatch.
+            return ready + (op.latency_override or 1)
+
+        if op.kind is OpKind.BRANCH:
+            result.branches += 1
+            return ready + 1
+
+        if op.kind is OpKind.LOAD:
+            result.loads += 1
+            latency = self._memory_latency(op.vaddr, ready, write=False, res=result)
+            return ready + latency
+
+        if op.kind is OpKind.STORE:
+            result.stores += 1
+            # Stores retire through the store buffer: the pipeline sees a
+            # 1-cycle cost; the cache access is charged for statistics.
+            self._memory_latency(op.vaddr, ready, write=True, res=result)
+            return ready + 1
+
+        if op.kind in (OpKind.QUERY_B, OpKind.QUERY_NB, OpKind.WAIT_RESULT):
+            if external is None:
+                raise SimulationError(
+                    f"trace contains {op.kind.value} but no external resolver "
+                    "(query port) was provided"
+                )
+            result.queries_issued += op.kind is not OpKind.WAIT_RESULT
+            done, extra_instructions = external(op, ready)
+            result.instructions += extra_instructions
+            if isinstance(done, int) and done < ready:
+                raise SimulationError("external op completed before it issued")
+            return done
+
+        raise SimulationError(f"unknown op kind {op.kind!r}")
+
+    def _memory_latency(
+        self, vaddr: Optional[int], now: int, *, write: bool, res: CoreResult
+    ) -> int:
+        if vaddr is None:
+            raise SimulationError("memory op without an address")
+        translation = self.mmu.translate(vaddr, "w" if write else "r")
+        # An L1-dTLB hit overlaps with cache access; misses add cycles.
+        translation_cost = (
+            0 if translation.tlb_hit_level == 0 else translation.cycles
+        )
+        access = self.hierarchy.access_from_core(
+            self.core_id, translation.paddr, write=write, now=now
+        )
+        level = access.level.value
+        res.level_breakdown[level] = res.level_breakdown.get(level, 0) + 1
+        res.memory_cycles += access.latency + translation_cost
+        return translation_cost + access.latency
+
+
+class CoreExecution:
+    """Incremental, resumable execution of one trace on one core.
+
+    Processing one op at a time lets a multicore runner interleave several
+    cores' traces in (approximate) global time order, so their accesses
+    contend realistically in the shared LLC/NoC/DRAM models.  Running an
+    execution to completion is exactly equivalent to
+    :meth:`OoOCore.execute`.
+    """
+
+    def __init__(
+        self,
+        core: OoOCore,
+        trace: Trace,
+        *,
+        start_cycle: int = 0,
+        external: Optional[ExternalResolver] = None,
+    ) -> None:
+        self.core = core
+        self.trace = trace
+        self.external = external
+        self.start_cycle = start_cycle
+        self._index = 0
+        self._completion: list = [0] * len(trace)
+        self._rob: list = []
+        self._lq: list = []
+        self._sq: list = []
+        self._fetch_ready = start_cycle
+        self._dispatched_this_cycle = 0
+        self._dispatch_cycle = start_cycle
+        self._last_completion = start_cycle
+        self.result = CoreResult(0, 0, start_cycle, start_cycle)
+        self._finished_result: Optional[CoreResult] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished(self) -> bool:
+        return self._index >= len(self.trace)
+
+    def local_time(self) -> int:
+        """The core's current frontier (its next dispatch opportunity)."""
+        return max(self._dispatch_cycle, self._fetch_ready)
+
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Process the next op in program order."""
+        if self.finished:
+            raise SimulationError("stepping a finished execution")
+        cfg = self.core.config
+        i = self._index
+        op = self.trace[i]
+        completion = self._completion
+        result = self.result
+
+        # ---------------- frontend / dispatch --------------------------- #
+        earliest = max(self._fetch_ready, self._dispatch_cycle)
+        if len(self._rob) >= cfg.rob_entries:
+            head = _as_cycle(self._rob[i - cfg.rob_entries])
+            self._rob[i - cfg.rob_entries] = head
+            earliest = max(earliest, head)
+        if op.is_load_like() and len(self._lq) >= cfg.load_queue_entries:
+            oldest = _as_cycle(self._lq[-cfg.load_queue_entries])
+            self._lq[-cfg.load_queue_entries] = oldest
+            earliest = max(earliest, oldest)
+        if op.is_store_like() and len(self._sq) >= cfg.store_queue_entries:
+            oldest = _as_cycle(self._sq[-cfg.store_queue_entries])
+            self._sq[-cfg.store_queue_entries] = oldest
+            earliest = max(earliest, oldest)
+
+        if earliest > self._dispatch_cycle:
+            self._dispatch_cycle = earliest
+            self._dispatched_this_cycle = 0
+        elif self._dispatched_this_cycle >= cfg.issue_width:
+            self._dispatch_cycle += 1
+            self._dispatched_this_cycle = 0
+        self._dispatched_this_cycle += 1
+        dispatch = self._dispatch_cycle
+
+        # ---------------- execute ---------------------------------------- #
+        ready = dispatch
+        for dep in op.deps:
+            if dep >= 0:
+                if dep >= i:
+                    raise SimulationError(
+                        f"op {i} depends on later op {dep}; malformed trace"
+                    )
+                dep_done = _as_cycle(completion[dep])
+                completion[dep] = dep_done
+                ready = max(ready, dep_done)
+
+        done = self.core._execute_op(op, ready, result, self.external)
+        completion[i] = done
+        if isinstance(done, int):
+            self._last_completion = max(self._last_completion, done)
+
+        # ---------------- retire bookkeeping ----------------------------- #
+        self._rob.append(done)
+        if op.is_load_like():
+            self._lq.append(done)
+        if op.is_store_like():
+            self._sq.append(done)
+
+        if op.kind is OpKind.BRANCH and op.mispredicted:
+            self._fetch_ready = done + cfg.branch_mispredict_cycles
+            result.branch_mispredicts += 1
+
+        if op.kind is OpKind.IFETCH_STALL:
+            self._fetch_ready = max(self._fetch_ready, done)
+            result.frontend_stall_cycles += op.latency_override or 0
+        else:
+            result.instructions += 1
+
+        self._index += 1
+
+    # ------------------------------------------------------------------ #
+
+    def finish(self) -> CoreResult:
+        """Resolve outstanding completions and produce the final result."""
+        if self._finished_result is not None:
+            return self._finished_result
+        if not self.finished:
+            raise SimulationError("finish() before the trace is exhausted")
+        last = self._last_completion
+        for value in self._completion:
+            last = max(last, _as_cycle(value))
+        result = self.result
+        result.end_cycle = last
+        result.cycles = last - self.start_cycle
+        self.core._retired.add(result.instructions)
+        self.core._cycles.add(result.cycles)
+        self._finished_result = result
+        return result

@@ -1,0 +1,132 @@
+"""Trace container and a fluent builder used by the workloads.
+
+A :class:`Trace` is a list of :class:`~repro.cpu.isa.MicroOp` in program
+order.  The builder returns the index of each emitted op so callers chain
+register dependences naturally::
+
+    b = TraceBuilder()
+    node = b.load(addr_of_root)              # load root pointer
+    key = b.load(key_addr)                   # independent load
+    cmp_ = b.alu(deps=(node, key))           # compare
+    b.branch(deps=(cmp_,), mispredicted=True)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .isa import MicroOp, OpKind
+
+
+class Trace:
+    """An ordered micro-op stream."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Optional[List[MicroOp]] = None) -> None:
+        self.ops: List[MicroOp] = ops if ops is not None else []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self.ops)
+
+    def __getitem__(self, index: int) -> MicroOp:
+        return self.ops[index]
+
+    def counts(self) -> dict:
+        """Dynamic op counts by kind (Fig. 11 input)."""
+        out: dict = {}
+        for op in self.ops:
+            out[op.kind] = out.get(op.kind, 0) + 1
+        return out
+
+    def extend(self, other: "Trace") -> None:
+        self.ops.extend(other.ops)
+
+
+class TraceBuilder:
+    """Appends micro-ops and hands back their indices for dependences."""
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def _emit(self, op: MicroOp) -> int:
+        self._trace.ops.append(op)
+        return len(self._trace.ops) - 1
+
+    # ------------------------------------------------------------------ #
+
+    def load(self, vaddr: int, deps: Sequence[int] = ()) -> int:
+        return self._emit(MicroOp(OpKind.LOAD, vaddr=vaddr, deps=tuple(deps)))
+
+    def load_span(self, vaddr: int, length: int, deps: Sequence[int] = ()) -> List[int]:
+        """One load per cacheline covered by ``[vaddr, vaddr + length)``."""
+        ids = []
+        line = 64
+        first = vaddr - vaddr % line
+        last = (vaddr + max(length, 1) - 1) - (vaddr + max(length, 1) - 1) % line
+        addr = first
+        while addr <= last:
+            ids.append(self.load(addr, deps))
+            addr += line
+        return ids
+
+    def store(self, vaddr: int, deps: Sequence[int] = ()) -> int:
+        return self._emit(MicroOp(OpKind.STORE, vaddr=vaddr, deps=tuple(deps)))
+
+    def alu(
+        self, deps: Sequence[int] = (), *, latency: Optional[int] = None, count: int = 1
+    ) -> int:
+        """Emit ``count`` dependent ALU ops; returns the last one's index."""
+        last = -1
+        chain: Tuple[int, ...] = tuple(deps)
+        for _ in range(max(1, count)):
+            last = self._emit(
+                MicroOp(OpKind.ALU, deps=chain, latency_override=latency)
+            )
+            chain = (last,)
+        return last
+
+    def branch(self, deps: Sequence[int] = (), *, mispredicted: bool = False) -> int:
+        return self._emit(
+            MicroOp(OpKind.BRANCH, deps=tuple(deps), mispredicted=mispredicted)
+        )
+
+    def query_b(self, payload: Any, deps: Sequence[int] = ()) -> int:
+        return self._emit(MicroOp(OpKind.QUERY_B, deps=tuple(deps), payload=payload))
+
+    def query_nb(self, payload: Any, deps: Sequence[int] = ()) -> int:
+        return self._emit(MicroOp(OpKind.QUERY_NB, deps=tuple(deps), payload=payload))
+
+    def wait_result(self, payload: Any, deps: Sequence[int] = ()) -> int:
+        return self._emit(
+            MicroOp(OpKind.WAIT_RESULT, deps=tuple(deps), payload=payload)
+        )
+
+    def ifetch_stall(self, cycles: int, deps: Sequence[int] = ()) -> int:
+        """An instruction-cache/decode stall of ``cycles`` (pseudo-op)."""
+        return self._emit(
+            MicroOp(OpKind.IFETCH_STALL, deps=tuple(deps), latency_override=cycles)
+        )
+
+    def other_work(self, instructions: int, deps: Sequence[int] = ()) -> int:
+        """Independent filler instructions around the query (query density).
+
+        Models the non-query part of a request loop (key pre-processing,
+        memcpy, thread management in RocksDB's seek loop, Sec. VII-A).
+        Emitted as short independent chains so they enjoy normal ILP.
+        """
+        last = -1
+        for i in range(instructions):
+            chain = tuple(deps) if i % 4 == 0 else (last,)
+            last = self._emit(MicroOp(OpKind.ALU, deps=chain))
+        return last

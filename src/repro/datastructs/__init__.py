@@ -1,0 +1,30 @@
+"""Pointer-based data structures resident in *simulated* memory.
+
+Every structure here is genuinely serialized into a simulated process
+address space (little-endian, 8-byte pointers) and queried by pointer
+chasing — both by the software baseline (which emits micro-op traces for the
+core timing model) and by the QEI accelerator's CFA programs (which interpret
+the same bytes).  The two paths must agree; tests assert they do.
+"""
+
+from .base import ProcessMemory
+from .bst import BinarySearchTree
+from .btree import BPlusTree
+from .hashtable import CuckooHashTable
+from .linkedlist import LinkedList
+from .skiplist import SkipList
+from .trie import AhoCorasickTrie, LpmTrie, Trie
+from .hash_of_lists import HashOfLists
+
+__all__ = [
+    "AhoCorasickTrie",
+    "BPlusTree",
+    "BinarySearchTree",
+    "CuckooHashTable",
+    "HashOfLists",
+    "LinkedList",
+    "LpmTrie",
+    "ProcessMemory",
+    "SkipList",
+    "Trie",
+]

@@ -1,0 +1,126 @@
+"""A combined structure: hash table whose buckets are linked lists.
+
+The paper (Sec. III-A) notes the accelerator "can even operate on combined
+data structures such as a hash table of linked lists" by treating the
+combination as a unique subtype with a dedicated CFA.  This module is that
+example — and the firmware-update demonstration: its CFA program is *not*
+pre-loaded in the accelerator; tests register it at runtime.
+
+Layout: root_ptr -> array of ``size`` u64 bucket heads; each head starts a
+linked-list chain of 24B nodes {key_ptr, value, next}.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.header import StructureType
+from ..errors import DataStructureError
+from ..cpu.trace import TraceBuilder
+from .base import MATCH_EXIT_MISPREDICT_RATE, ProcessMemory, SimStructure
+from .hashing import branch_outcome, primary_hash
+from .linkedlist import NODE_BYTES
+
+
+class HashOfLists(SimStructure):
+    """Chained hash table: the combined-structure subtype."""
+
+    TYPE = StructureType.HASH_OF_LISTS
+
+    def __init__(
+        self, mem: ProcessMemory, *, key_length: int, num_buckets: int = 256
+    ) -> None:
+        if num_buckets <= 0 or num_buckets & (num_buckets - 1):
+            raise DataStructureError("num_buckets must be a power of two")
+        super().__init__(mem, key_length=key_length, size=num_buckets)
+        self.num_buckets = num_buckets
+        table = mem.alloc(num_buckets * 8, align=64)
+        for i in range(num_buckets):
+            mem.space.write_u64(table + i * 8, 0)
+        self._update_header(root_ptr=table)
+        self.table_addr = table
+        self._count = 0
+
+    def _bucket_slot(self, key: bytes) -> int:
+        return self.table_addr + (primary_hash(key) % self.num_buckets) * 8
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, key: bytes, value: int) -> None:
+        key = self._check_key(key)
+        space = self.mem.space
+        slot = self._bucket_slot(key)
+
+        # Update in place when present.
+        node = space.read_u64(slot)
+        while node:
+            key_ptr = space.read_u64(node)
+            if space.read(key_ptr, self.key_length) == key:
+                space.write_u64(node + 8, value)
+                return
+            node = space.read_u64(node + 16)
+
+        key_addr = self.mem.store_bytes(key)
+        node = self.mem.alloc(NODE_BYTES, align=8)
+        space.write_u64(node + 0, key_addr)
+        space.write_u64(node + 8, value)
+        space.write_u64(node + 16, space.read_u64(slot))
+        space.write_u64(slot, node)
+        self._count += 1
+
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, key: bytes) -> Optional[int]:
+        key = self._check_key(key)
+        space = self.mem.space
+        node = space.read_u64(self._bucket_slot(key))
+        while node:
+            key_ptr = space.read_u64(node)
+            if space.read(key_ptr, self.key_length) == key:
+                return space.read_u64(node + 8)
+            node = space.read_u64(node + 16)
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def emit_lookup(
+        self, builder: TraceBuilder, key_addr: int, key: bytes
+    ) -> Optional[int]:
+        key = self._check_key(key)
+        space = self.mem.space
+
+        header_load = builder.load(self.header_addr)
+        key_loads = builder.load_span(key_addr, self.key_length)
+        hash_op = builder.alu(
+            deps=tuple(key_loads + [header_load]),
+            count=max(8, 3 * self.key_length),
+        )
+        slot = self._bucket_slot(key)
+        slot_load = builder.load(slot, (hash_op,))
+        node = space.read_u64(slot)
+        cursor = slot_load
+        probes = 0
+
+        while node:
+            node_loads = builder.load_span(node, NODE_BYTES, (cursor,))
+            key_ptr = space.read_u64(node)
+            cmp_op = self._emit_memcmp(
+                builder, key_ptr, key_addr, self.key_length, tuple(node_loads)
+            )
+            matched = space.read(key_ptr, self.key_length) == key
+            builder.branch(
+                deps=(cmp_op,),
+                mispredicted=matched
+                and branch_outcome(key, probes, MATCH_EXIT_MISPREDICT_RATE),
+            )
+            if matched:
+                return space.read_u64(node + 8)
+            cursor = builder.alu(deps=tuple(node_loads))
+            node = space.read_u64(node + 16)
+            probes += 1
+
+        builder.branch(deps=(cursor,), mispredicted=True)
+        return None

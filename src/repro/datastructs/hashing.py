@@ -1,0 +1,73 @@
+"""Hash functions shared by software baselines and the QEI hash unit.
+
+Both sides must compute identical values (the accelerator's hashing unit
+"supports common hash functions", Sec. IV-B), so these are plain-Python,
+dependency-free implementations of FNV-1a plus helpers for signatures,
+bucket selection and a deterministic branch-outcome model.
+"""
+
+from __future__ import annotations
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x00000100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(data: bytes, seed: int = FNV_OFFSET) -> int:
+    """64-bit FNV-1a over ``data`` starting from ``seed``."""
+    h = seed & MASK64
+    for byte in data:
+        h ^= byte
+        h = (h * FNV_PRIME) & MASK64
+    return h
+
+
+def primary_hash(key: bytes) -> int:
+    """First cuckoo hash."""
+    return fnv1a64(key)
+
+
+def secondary_hash(key: bytes) -> int:
+    """Second cuckoo hash: an avalanche mix of the primary.
+
+    Matches the common trick (used by DPDK's hash library) of deriving the
+    alternative signature from the primary one, so displacement only needs
+    the stored signature.
+    """
+    return mix64(primary_hash(key) ^ 0x5BD1E9955BD1E995)
+
+
+def mix64(x: int) -> int:
+    """Finalizer from splitmix64 — a cheap full-avalanche mixer."""
+    x &= MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & MASK64
+    x ^= x >> 31
+    return x
+
+
+def signature_of(key: bytes) -> int:
+    """Short signature stored in hash buckets to pre-filter comparisons."""
+    return mix64(primary_hash(key)) & MASK64
+
+
+def lsh_hash(key: bytes, table_index: int) -> int:
+    """Per-table hash for locality-sensitive-hashing workloads (FLANN)."""
+    return fnv1a64(key, seed=(FNV_OFFSET ^ (0x9E3779B97F4A7C15 * (table_index + 1)) & MASK64))
+
+
+def branch_outcome(key: bytes, salt: int, mispredict_rate: float) -> bool:
+    """Deterministic stand-in for a branch predictor's *misprediction*.
+
+    Returns True when a data-dependent branch should be charged a
+    misprediction.  Outcomes are a pure function of (key, salt) so runs are
+    reproducible and identical across integration schemes.
+    """
+    if mispredict_rate <= 0.0:
+        return False
+    if mispredict_rate >= 1.0:
+        return True
+    draw = mix64(fnv1a64(key) ^ (salt * 0x9E3779B97F4A7C15)) & 0xFFFF
+    return draw < int(mispredict_rate * 0x10000)

@@ -1,0 +1,241 @@
+"""A bucketised cuckoo hash table in simulated memory (DPDK-style).
+
+Layout follows DPDK's hash library shape: a power-of-two array of buckets,
+each bucket holding ``entries_per_bucket`` slots of ``{signature, kv_ptr}``.
+Every key has two candidate buckets (primary/secondary hash); inserts
+displace entries cuckoo-style between the two candidates.
+
+Bucket slot (16 bytes)::
+
+    offset 0: u64 signature   (0 = empty)
+    offset 8: u64 kv_ptr      -> key/value record
+
+Key/value record::
+
+    offset 0:          u64 value
+    offset 8:          key bytes (key_length long)
+
+A lookup touches: header, hash of the key, primary bucket (signature
+pre-filter), key record compare, and possibly the secondary bucket — the
+small, fixed number of memory accesses the paper calls out for hash tables
+(Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.header import StructureType
+from ..errors import CapacityError, DataStructureError
+from ..cpu.trace import TraceBuilder
+from .base import MATCH_EXIT_MISPREDICT_RATE, ProcessMemory, SimStructure
+from .hashing import branch_outcome, primary_hash, secondary_hash, signature_of
+
+SLOT_BYTES = 16
+MAX_DISPLACEMENTS = 64
+#: Per-bucket software bookkeeping in the baseline: DPDK's lookup manages
+#: prefetches, unpacks signatures and maintains hit masks around the scan.
+BUCKET_SCAN_INSTRUCTIONS = 8
+#: One fetch redirect per lookup: DPDK's loop is compact (only 7.5%
+#: frontend bound per the paper), so stalls are rare.
+IFETCH_STALL_CYCLES = 14
+
+
+class CuckooHashTable(SimStructure):
+    """Bucketised cuckoo hash table with out-of-line key/value records."""
+
+    TYPE = StructureType.HASH_TABLE
+
+    def __init__(
+        self,
+        mem: ProcessMemory,
+        *,
+        key_length: int,
+        num_buckets: int = 1024,
+        entries_per_bucket: int = 8,
+    ) -> None:
+        if num_buckets <= 0 or num_buckets & (num_buckets - 1):
+            raise DataStructureError("num_buckets must be a power of two")
+        if not 1 <= entries_per_bucket <= 255:
+            raise DataStructureError("entries_per_bucket must fit the subtype byte")
+        super().__init__(
+            mem,
+            key_length=key_length,
+            subtype=entries_per_bucket,
+            size=num_buckets,
+        )
+        self.num_buckets = num_buckets
+        self.entries_per_bucket = entries_per_bucket
+        self.bucket_bytes = entries_per_bucket * SLOT_BYTES
+        table = mem.alloc(num_buckets * self.bucket_bytes, align=64)
+        self._update_header(root_ptr=table)
+        self.table_addr = table
+        self._count = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _bucket_addr(self, bucket_index: int) -> int:
+        return self.table_addr + bucket_index * self.bucket_bytes
+
+    def _candidate_buckets(self, key: bytes) -> Tuple[int, int]:
+        h1 = primary_hash(key) % self.num_buckets
+        h2 = secondary_hash(key) % self.num_buckets
+        return h1, h2
+
+    def _slot(self, bucket_index: int, slot_index: int) -> int:
+        return self._bucket_addr(bucket_index) + slot_index * SLOT_BYTES
+
+    def _read_slot(self, bucket_index: int, slot_index: int) -> Tuple[int, int]:
+        addr = self._slot(bucket_index, slot_index)
+        space = self.mem.space
+        return space.read_u64(addr), space.read_u64(addr + 8)
+
+    def _write_slot(self, bucket_index: int, slot_index: int, sig: int, kv: int) -> None:
+        addr = self._slot(bucket_index, slot_index)
+        self.mem.space.write_u64(addr, sig)
+        self.mem.space.write_u64(addr + 8, kv)
+
+    def _kv_key(self, kv_ptr: int) -> bytes:
+        return self.mem.space.read(kv_ptr + 8, self.key_length)
+
+    # ------------------------------------------------------------------ #
+    # Construction (software-side; updates stay in software, Sec. IV-A)
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, key: bytes, value: int) -> None:
+        """Insert or update; raises :class:`CapacityError` when stuck."""
+        key = self._check_key(key)
+        sig = signature_of(key) or 1  # 0 means empty
+        b1, b2 = self._candidate_buckets(key)
+
+        # Update in place if present.
+        existing = self._find_slot(key, sig)
+        if existing is not None:
+            bucket, slot, kv = existing
+            self.mem.space.write_u64(kv, value)
+            return
+
+        kv = self.mem.alloc(8 + self.key_length, align=8)
+        self.mem.space.write_u64(kv, value)
+        self.mem.space.write(kv + 8, key)
+
+        if self._try_place(b1, sig, kv) or self._try_place(b2, sig, kv):
+            self._count += 1
+            return
+        # Cuckoo displacement from the primary bucket.
+        if self._displace(b1, sig, kv, depth=0):
+            self._count += 1
+            return
+        raise CapacityError(
+            f"cuckoo insertion failed after {MAX_DISPLACEMENTS} displacements "
+            f"({self._count} items in {self.num_buckets} buckets)"
+        )
+
+    def _try_place(self, bucket: int, sig: int, kv: int) -> bool:
+        for slot in range(self.entries_per_bucket):
+            stored_sig, _ = self._read_slot(bucket, slot)
+            if stored_sig == 0:
+                self._write_slot(bucket, slot, sig, kv)
+                return True
+        return False
+
+    def _displace(self, bucket: int, sig: int, kv: int, depth: int) -> bool:
+        if depth >= MAX_DISPLACEMENTS:
+            return False
+        # Kick the entry whose slot index rotates with depth (simple policy).
+        victim_slot = depth % self.entries_per_bucket
+        victim_sig, victim_kv = self._read_slot(bucket, victim_slot)
+        self._write_slot(bucket, victim_slot, sig, kv)
+        victim_key = self._kv_key(victim_kv)
+        vb1, vb2 = self._candidate_buckets(victim_key)
+        target = vb2 if vb1 == bucket else vb1
+        if self._try_place(target, victim_sig, victim_kv):
+            return True
+        return self._displace(target, victim_sig, victim_kv, depth + 1)
+
+    def delete(self, key: bytes) -> bool:
+        """Clear the key's slot; returns True when the key was present.
+
+        Deletes stay in software (Sec. IV-A): clearing the signature makes
+        the slot reusable while in-flight accelerator lookups simply stop
+        matching it.
+        """
+        key = self._check_key(key)
+        sig = signature_of(key) or 1
+        found = self._find_slot(key, sig)
+        if found is None:
+            return False
+        bucket, slot, _ = found
+        self._write_slot(bucket, slot, 0, 0)
+        self._count -= 1
+        return True
+
+    def _find_slot(self, key: bytes, sig: int) -> Optional[Tuple[int, int, int]]:
+        for bucket in self._candidate_buckets(key):
+            for slot in range(self.entries_per_bucket):
+                stored_sig, kv = self._read_slot(bucket, slot)
+                if stored_sig == sig and kv and self._kv_key(kv) == key:
+                    return bucket, slot, kv
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Query — functional reference
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, key: bytes) -> Optional[int]:
+        key = self._check_key(key)
+        sig = signature_of(key) or 1
+        found = self._find_slot(key, sig)
+        if found is None:
+            return None
+        return self.mem.space.read_u64(found[2])
+
+    # ------------------------------------------------------------------ #
+    # Query — software baseline (functional + micro-op trace)
+    # ------------------------------------------------------------------ #
+
+    def emit_lookup(
+        self, builder: TraceBuilder, key_addr: int, key: bytes
+    ) -> Optional[int]:
+        """DPDK-style lookup: hash, signature scan, key compare."""
+        key = self._check_key(key)
+        space = self.mem.space
+        sig = signature_of(key) or 1
+
+        header_load = builder.load(self.header_addr)
+        key_loads = builder.load_span(key_addr, self.key_length)
+        # Software hash: ~3 ALU ops per key byte (jhash-style mixing
+        # rounds), plus the lookup API prologue.
+        hash_op = builder.alu(
+            deps=tuple(key_loads + [header_load]),
+            count=max(8, 3 * self.key_length),
+        )
+        builder.ifetch_stall(IFETCH_STALL_CYCLES)
+
+        for which, bucket in enumerate(self._candidate_buckets(key)):
+            bucket_addr = self._bucket_addr(bucket)
+            bucket_loads = builder.load_span(bucket_addr, self.bucket_bytes, (hash_op,))
+            builder.alu(deps=tuple(bucket_loads), count=BUCKET_SCAN_INSTRUCTIONS)
+            for slot in range(self.entries_per_bucket):
+                stored_sig, kv = self._read_slot(bucket, slot)
+                sig_cmp = builder.alu(deps=tuple(bucket_loads))
+                builder.branch(deps=(sig_cmp,))  # signature filter: predictable
+                if stored_sig != sig or not kv:
+                    continue
+                cmp_op = self._emit_memcmp(
+                    builder, kv + 8, key_addr, self.key_length, (sig_cmp,)
+                )
+                matched = self._kv_key(kv) == key
+                builder.branch(
+                    deps=(cmp_op,),
+                    mispredicted=matched
+                    and branch_outcome(key, which, MATCH_EXIT_MISPREDICT_RATE),
+                )
+                if matched:
+                    value_load = builder.load(kv, (cmp_op,))
+                    return space.read_u64(kv)
+        builder.branch(deps=(hash_op,), mispredicted=True)  # miss exit
+        return None

@@ -1,0 +1,35 @@
+"""Simulated memory substrate.
+
+Functional and timing layers are separate:
+
+* the *functional* layer (:mod:`physical`, :mod:`paging`, :mod:`allocator`)
+  holds real bytes at real (simulated) addresses, so data structures are
+  genuinely serialized and pointer-chased;
+* the *timing* layer (:mod:`tlb`, :mod:`cache`, :mod:`dram`,
+  :mod:`hierarchy`) charges cycles for the cachelines and translations those
+  functional accesses touch.
+"""
+
+from .allocator import BumpArena, PageScatterAllocator
+from .cache import Cache, CacheLevelName
+from .dram import Dram
+from .hierarchy import AccessResult, MemoryHierarchy
+from .mmu import Mmu
+from .paging import AddressSpace, PageTable
+from .physical import PhysicalMemory
+from .tlb import Tlb
+
+__all__ = [
+    "AccessResult",
+    "AddressSpace",
+    "BumpArena",
+    "Cache",
+    "CacheLevelName",
+    "Dram",
+    "MemoryHierarchy",
+    "Mmu",
+    "PageScatterAllocator",
+    "PageTable",
+    "PhysicalMemory",
+    "Tlb",
+]

@@ -1,0 +1,128 @@
+"""Set-associative cache model with LRU replacement.
+
+The cache tracks *presence* of physical cachelines (tags only; data lives in
+:class:`~repro.mem.physical.PhysicalMemory`).  It is used for L1D, L2 and
+each LLC slice.  Writeback/dirty state is tracked so eviction statistics are
+meaningful, but coherence is modelled at the hierarchy level (single-writer
+approximation — the paper evaluates single-threaded ROIs, Sec. VI-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..config import CacheConfig
+from ..sim.stats import StatsRegistry
+
+
+class CacheLevelName(str, enum.Enum):
+    """Symbolic cache level names, used in access breakdowns."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LLC = "llc"
+    DRAM = "dram"
+
+
+class Cache:
+    """One set-associative, write-back, write-allocate cache."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        *,
+        stats: Optional[StatsRegistry] = None,
+        name: str = "cache",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        # set index -> OrderedDict[tag, dirty]
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.stats = (stats or StatsRegistry()).scoped(name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evictions = self.stats.counter("evictions")
+        self._writebacks = self.stats.counter("writebacks")
+
+    # ------------------------------------------------------------------ #
+
+    def _index_tag(self, line_addr: int) -> Tuple[int, int]:
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def _set(self, index: int) -> "OrderedDict[int, bool]":
+        entry_set = self._sets.get(index)
+        if entry_set is None:
+            entry_set = OrderedDict()
+            self._sets[index] = entry_set
+        return entry_set
+
+    # ------------------------------------------------------------------ #
+
+    def access(self, line_addr: int, *, write: bool = False) -> bool:
+        """Look up a cacheline (by line address = paddr // 64).
+
+        Returns True on hit.  On miss the line is *not* filled; callers
+        decide (the hierarchy fills after resolving the next level).
+        """
+        index, tag = self._index_tag(line_addr)
+        entry_set = self._set(index)
+        if tag in entry_set:
+            entry_set.move_to_end(tag)
+            if write:
+                entry_set[tag] = True
+            self._hits.add()
+            return True
+        self._misses.add()
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Presence check without LRU update or statistics."""
+        index, tag = self._index_tag(line_addr)
+        return tag in self._sets.get(index, ())
+
+    def fill(self, line_addr: int, *, dirty: bool = False) -> Optional[int]:
+        """Insert a line; returns the evicted line address (or None)."""
+        index, tag = self._index_tag(line_addr)
+        entry_set = self._set(index)
+        victim_line = None
+        if tag in entry_set:
+            entry_set.move_to_end(tag)
+            entry_set[tag] = entry_set[tag] or dirty
+            return None
+        if len(entry_set) >= self.config.associativity:
+            victim_tag, victim_dirty = entry_set.popitem(last=False)
+            victim_line = victim_tag * self.num_sets + index
+            self._evictions.add()
+            if victim_dirty:
+                self._writebacks.add()
+        entry_set[tag] = dirty
+        return victim_line
+
+    def invalidate(self, line_addr: Optional[int] = None) -> None:
+        """Drop one line, or flush everything when ``line_addr`` is None."""
+        if line_addr is None:
+            self._sets.clear()
+            return
+        index, tag = self._index_tag(line_addr)
+        self._sets.get(index, OrderedDict()).pop(tag, None)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,218 @@
+"""The full cache hierarchy: private L1/L2 per core, sliced NUCA LLC, DRAM.
+
+Physical cachelines map to LLC slices through a NUCA hash (Sec. V: requests
+are distributed "based on a hash function specific to the NUCA architecture").
+Accesses can originate at a core (through its private caches) or directly at
+a CHA/LLC slice (near-data accesses from distributed comparators), which is
+how the accelerator avoids private-cache pollution.
+
+Timing is returned, not scheduled: callers (the core timing model, the QEI
+engine) decide how latencies compose with their own concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..config import CACHELINE_BYTES, LlcConfig, SystemConfig
+from ..errors import ConfigurationError
+from ..sim.stats import StatsRegistry
+from .cache import Cache, CacheLevelName
+from .dram import Dram
+
+
+def nuca_slice_hash(line_addr: int, num_slices: int) -> int:
+    """Spread cachelines over LLC slices with a cheap mixing hash.
+
+    Mirrors the XOR-folding hashes Intel uses for slice selection: avoids
+    striding artifacts that a plain modulo would give for power-of-two
+    strides.
+    """
+    x = line_addr
+    x ^= x >> 7
+    x ^= x >> 13
+    x = (x * 0x9E3779B1) & 0xFFFFFFFF
+    return x % num_slices
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one timed cacheline access."""
+
+    latency: int
+    level: CacheLevelName
+    slice_id: int
+    noc_hops: int = 0
+
+
+class MemoryHierarchy:
+    """Private L1/L2 per core + shared sliced LLC + DRAM."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        stats: Optional[StatsRegistry] = None,
+        hop_latency: Optional[Callable[[int, int], int]] = None,
+        noc_charge: Optional[Callable[[int, int, int, int], None]] = None,
+    ) -> None:
+        """Build the hierarchy.
+
+        Args:
+            hop_latency: ``(src_node, dst_node) -> cycles`` over the mesh;
+                defaults to a Manhattan-distance estimate if no NoC is wired.
+            noc_charge: optional ``(src, dst, bytes, now)`` bandwidth hook.
+        """
+        self.config = config
+        registry = stats or StatsRegistry()
+        self.stats = registry.scoped("mem")
+        self.l1 = [
+            Cache(config.core.l1d, stats=registry, name=f"core{i}.l1d")
+            for i in range(config.num_cores)
+        ]
+        self.l2 = [
+            Cache(config.core.l2, stats=registry, name=f"core{i}.l2")
+            for i in range(config.num_cores)
+        ]
+        slice_cfg = config.llc.slice_config()
+        self.llc_slices = [
+            Cache(slice_cfg, stats=registry, name=f"llc.slice{i}")
+            for i in range(config.llc.slices)
+        ]
+        self.dram = Dram(
+            config.dram, frequency_ghz=config.core.frequency_ghz, stats=registry
+        )
+        self._hop_latency = hop_latency or self._manhattan_hops
+        self._noc_charge = noc_charge
+        self._llc_latency = config.llc.latency_cycles
+        self._accesses = self.stats.counter("accesses")
+        self._dram_accesses = self.stats.counter("dram_accesses")
+        #: Optional next-line prefetcher at the L2 (off by default so the
+        #: calibrated experiments are prefetch-free, like the paper's
+        #: focus on demand behaviour).  When enabled, an L2 demand miss
+        #: also installs the next line into the L2 off the critical path.
+        self.next_line_prefetch = False
+        self._prefetches = self.stats.counter("prefetches")
+
+    # ------------------------------------------------------------------ #
+
+    def _manhattan_hops(self, src: int, dst: int) -> int:
+        width = self.config.noc.width
+        sx, sy = src % width, src // width
+        dx, dy = dst % width, dst // width
+        hops = abs(sx - dx) + abs(sy - dy)
+        per_hop = self.config.noc.hop_cycles + self.config.noc.router_cycles
+        return hops * per_hop
+
+    def slice_of(self, line_addr: int) -> int:
+        return nuca_slice_hash(line_addr, len(self.llc_slices))
+
+    @staticmethod
+    def line_of(paddr: int) -> int:
+        return paddr // CACHELINE_BYTES
+
+    # ------------------------------------------------------------------ #
+
+    def access_from_core(
+        self,
+        core_id: int,
+        paddr: int,
+        *,
+        write: bool = False,
+        now: int = 0,
+        fill_l1: bool = True,
+        fill_l2: bool = True,
+    ) -> AccessResult:
+        """A demand access from core ``core_id``'s pipeline (or its QEI).
+
+        ``fill_l1=False`` models accesses that bypass the L1 (QEI sits next
+        to the L2, Sec. V-A); ``fill_l2=False`` additionally skips the L2.
+        """
+        if not 0 <= core_id < len(self.l1):
+            raise ConfigurationError(f"core_id {core_id} out of range")
+        self._accesses.add()
+        line = self.line_of(paddr)
+        l1 = self.l1[core_id]
+        l2 = self.l2[core_id]
+        l1_lat = l1.config.latency_cycles
+        l2_lat = l2.config.latency_cycles
+
+        if fill_l1 and l1.access(line, write=write):
+            return AccessResult(l1_lat, CacheLevelName.L1, self.slice_of(line))
+        if l2.access(line, write=write):
+            latency = (l1_lat if fill_l1 else 0) + l2_lat
+            if fill_l1:
+                l1.fill(line, dirty=write)
+            return AccessResult(latency, CacheLevelName.L2, self.slice_of(line))
+
+        lead_in = (l1_lat if fill_l1 else 0) + l2_lat
+        result = self._access_llc(
+            line, src_node=core_id, write=write, now=now, lead_in=lead_in
+        )
+        if fill_l2:
+            l2.fill(line, dirty=write)
+        if fill_l1:
+            l1.fill(line, dirty=write)
+        if self.next_line_prefetch and fill_l2 and not l2.probe(line + 1):
+            # Off the critical path: install the next line into L2/LLC.
+            self._prefetches.add()
+            home = self.slice_of(line + 1)
+            if not self.llc_slices[home].probe(line + 1):
+                self.llc_slices[home].fill(line + 1)
+            l2.fill(line + 1)
+        return result
+
+    def access_from_slice(
+        self, slice_id: int, paddr: int, *, write: bool = False, now: int = 0
+    ) -> AccessResult:
+        """A near-data access issued at a CHA (distributed comparator).
+
+        The request starts at the slice's own node; if the NUCA home of the
+        line is a different slice, the request crosses the mesh (this is rare
+        for QEI because comparisons are routed to the home slice up front).
+        """
+        line = self.line_of(paddr)
+        self._accesses.add()
+        return self._access_llc(line, src_node=slice_id, write=write, now=now)
+
+    def _access_llc(
+        self,
+        line: int,
+        *,
+        src_node: int,
+        write: bool,
+        now: int,
+        lead_in: int = 0,
+    ) -> AccessResult:
+        home = self.slice_of(line)
+        hop_cycles = self._hop_latency(src_node, home)
+        if self._noc_charge is not None:
+            self._noc_charge(src_node, home, CACHELINE_BYTES, now)
+        llc = self.llc_slices[home]
+        latency = lead_in + hop_cycles + self._llc_latency
+        if llc.access(line, write=write):
+            return AccessResult(latency, CacheLevelName.LLC, home, hop_cycles)
+        self._dram_accesses.add()
+        latency += self.dram.access(line, now + latency)
+        llc.fill(line, dirty=write)
+        return AccessResult(latency, CacheLevelName.DRAM, home, hop_cycles)
+
+    # ------------------------------------------------------------------ #
+
+    def flush_private(self, core_id: int) -> None:
+        """Drop a core's L1/L2 contents (used between experiment phases)."""
+        self.l1[core_id].invalidate()
+        self.l2[core_id].invalidate()
+
+    def flush_all(self) -> None:
+        for i in range(len(self.l1)):
+            self.flush_private(i)
+        for llc in self.llc_slices:
+            llc.invalidate()
+        self.dram.reset_timing()
+
+    def warm_lines(self, core_id: int, paddrs: List[int]) -> None:
+        """Pre-touch lines so an ROI starts from a warmed cache state."""
+        for paddr in paddrs:
+            self.access_from_core(core_id, paddr)

@@ -1,0 +1,213 @@
+"""Virtual memory: page tables and per-process address spaces.
+
+The paper's central integration argument is that queried data structures
+"seldom reside in a contiguous memory address space" larger than a 4KB page,
+so an accelerator *must* translate addresses (Sec. I, Sec. V).  We therefore
+model real 4KB paging: each process owns a page table mapping virtual page
+numbers to physical frames, and the :class:`~repro.mem.allocator`
+deliberately scatters physically-backed pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..config import PAGE_BYTES
+from ..errors import ProtectionFault, SegmentationFault, SimulationError
+from .physical import PhysicalMemory
+
+
+@dataclass
+class PageTableEntry:
+    """One VPN -> PFN mapping with permissions."""
+
+    frame_number: int
+    readable: bool = True
+    writable: bool = True
+
+    def permits(self, access: str) -> bool:
+        if access == "r":
+            return self.readable
+        if access == "w":
+            return self.writable
+        raise SimulationError(f"unknown access kind {access!r}")
+
+
+class PageTable:
+    """A flat VPN -> PTE map (a radix walk is modelled by the MMU's cost)."""
+
+    def __init__(self, page_bytes: int = PAGE_BYTES) -> None:
+        self.page_bytes = page_bytes
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def map(self, vpn: int, frame_number: int, *, writable: bool = True) -> None:
+        if vpn in self._entries:
+            raise SimulationError(f"VPN 0x{vpn:x} is already mapped")
+        self._entries[vpn] = PageTableEntry(frame_number, writable=writable)
+
+    def unmap(self, vpn: int) -> PageTableEntry:
+        try:
+            return self._entries.pop(vpn)
+        except KeyError as exc:
+            raise SegmentationFault(
+                vpn * self.page_bytes, f"unmap of unmapped VPN 0x{vpn:x}"
+            ) from exc
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[int, PageTableEntry]]:
+        return iter(sorted(self._entries.items()))
+
+
+class AddressSpace:
+    """One process's virtual address space over shared physical memory.
+
+    Functional translation only; timing (TLB hits, page-walk cycles) is the
+    MMU's job.  The zero page is never mapped so a NULL pointer dereference
+    raises :class:`SegmentationFault` — which the QEI accelerator surfaces as
+    its architectural EXCEPTION state.
+    """
+
+    #: 2MB huge pages (x86 PDE mappings).
+    HUGE_PAGE_BYTES = 2 * 1024 * 1024
+    #: Tag added to huge-page numbers so TLB keys never collide with VPNs.
+    HUGE_KEY_BASE = 1 << 40
+
+    def __init__(
+        self, physical: PhysicalMemory, *, asid: int = 0, page_bytes: int = PAGE_BYTES
+    ) -> None:
+        self.physical = physical
+        self.asid = asid
+        self.page_bytes = page_bytes
+        self.page_table = PageTable(page_bytes)
+        #: huge-page number -> base frame of a physically contiguous run.
+        self._huge_pages: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mapping
+    # ------------------------------------------------------------------ #
+
+    def map_page(self, vaddr: int, *, writable: bool = True) -> int:
+        """Back the page containing ``vaddr`` with a fresh physical frame."""
+        if vaddr % self.page_bytes:
+            raise SimulationError(f"map_page needs page-aligned vaddr, got 0x{vaddr:x}")
+        vpn = vaddr // self.page_bytes
+        if vpn == 0:
+            raise SimulationError("refusing to map the zero page")
+        frame = self.physical.allocate_frame()
+        self.page_table.map(vpn, frame, writable=writable)
+        return frame
+
+    def map_huge_page(self, vaddr: int) -> int:
+        """Back a 2MB-aligned region with physically contiguous frames.
+
+        One TLB entry covers the whole region — the assumption prior work
+        (HALO) builds on, and the paper argues is fragile under
+        fragmentation (Sec. II-B challenge 3).  Returns the base frame.
+        """
+        if vaddr % self.HUGE_PAGE_BYTES:
+            raise SimulationError(
+                f"huge pages must be 2MB aligned, got 0x{vaddr:x}"
+            )
+        hpn = vaddr // self.HUGE_PAGE_BYTES
+        if hpn in self._huge_pages:
+            raise SimulationError(f"huge page 0x{vaddr:x} is already mapped")
+        frames = self.HUGE_PAGE_BYTES // self.page_bytes
+        base_frame = self.physical.allocate_contiguous(frames)
+        self._huge_pages[hpn] = base_frame
+        return base_frame
+
+    def unmap_page(self, vaddr: int) -> None:
+        vpn = vaddr // self.page_bytes
+        entry = self.page_table.unmap(vpn)
+        self.physical.free_frame(entry.frame_number)
+
+    def is_mapped(self, vaddr: int) -> bool:
+        if vaddr // self.HUGE_PAGE_BYTES in self._huge_pages:
+            return True
+        return self.page_table.lookup(vaddr // self.page_bytes) is not None
+
+    def translation_entry(self, vaddr: int, access: str = "r"):
+        """(tlb_key, base_paddr, span) for the page covering ``vaddr``.
+
+        Huge pages return one entry spanning 2MB (a single TLB slot covers
+        the whole region); small pages return per-4KB entries.
+        """
+        if vaddr < 0:
+            raise SegmentationFault(vaddr)
+        hpn = vaddr // self.HUGE_PAGE_BYTES
+        base_frame = self._huge_pages.get(hpn)
+        if base_frame is not None:
+            return (
+                self.HUGE_KEY_BASE + hpn,
+                base_frame * self.page_bytes,
+                self.HUGE_PAGE_BYTES,
+            )
+        vpn = vaddr // self.page_bytes
+        entry = self.page_table.lookup(vpn)
+        if entry is None:
+            raise SegmentationFault(vaddr)
+        if not entry.permits(access):
+            raise ProtectionFault(vaddr, access)
+        return vpn, entry.frame_number * self.page_bytes, self.page_bytes
+
+    def translate(self, vaddr: int, access: str = "r") -> int:
+        """Virtual -> physical, raising simulated faults on bad accesses."""
+        _, base_paddr, span = self.translation_entry(vaddr, access)
+        return base_paddr + vaddr % span
+
+    # ------------------------------------------------------------------ #
+    # Byte access (virtual addresses); splits at page boundaries
+    # ------------------------------------------------------------------ #
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        out = bytearray()
+        addr, remaining = vaddr, length
+        while remaining:
+            offset = addr % self.page_bytes
+            chunk = min(remaining, self.page_bytes - offset)
+            out += self.physical.read(self.translate(addr, "r"), chunk)
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        addr = vaddr
+        view = memoryview(data)
+        while view:
+            offset = addr % self.page_bytes
+            chunk = min(len(view), self.page_bytes - offset)
+            self.physical.write(self.translate(addr, "w"), bytes(view[:chunk]))
+            addr += chunk
+            view = view[chunk:]
+
+    # Convenience fixed-width accessors (little-endian, like x86).
+
+    def read_u64(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 8), "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def read_u32(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 4), "little")
+
+    def write_u32(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & (2**32 - 1)).to_bytes(4, "little"))
+
+    def read_u16(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 2), "little")
+
+    def write_u16(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def read_u8(self, vaddr: int) -> int:
+        return self.read(vaddr, 1)[0]
+
+    def write_u8(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, bytes([value & 0xFF]))

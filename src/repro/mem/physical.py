@@ -1,0 +1,122 @@
+"""Simulated physical memory: a sparse array of 4KB frames.
+
+Frames are allocated lazily so a 512MB machine costs only what is touched.
+Reads and writes may span frame boundaries; the class splits them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import PAGE_BYTES
+from ..errors import OutOfMemory, SimulationError
+
+
+class PhysicalMemory:
+    """Byte-addressable simulated DRAM, organised as 4KB frames."""
+
+    def __init__(self, capacity_bytes: int, frame_bytes: int = PAGE_BYTES) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % frame_bytes:
+            raise SimulationError(
+                "physical capacity must be a positive multiple of the frame size"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.frame_bytes = frame_bytes
+        self.num_frames = capacity_bytes // frame_bytes
+        self._frames: Dict[int, bytearray] = {}
+        self._free_frames: List[int] = list(range(self.num_frames - 1, -1, -1))
+
+    # ------------------------------------------------------------------ #
+    # Frame management
+    # ------------------------------------------------------------------ #
+
+    def allocate_frame(self) -> int:
+        """Reserve one physical frame, returning its frame number."""
+        if not self._free_frames:
+            raise OutOfMemory(
+                f"physical memory exhausted ({self.num_frames} frames in use)"
+            )
+        return self._free_frames.pop()
+
+    def allocate_contiguous(self, count: int) -> int:
+        """Reserve ``count`` physically *consecutive* frames (huge pages).
+
+        Returns the base frame number.  Raises :class:`OutOfMemory` when no
+        contiguous run exists — which is exactly the fragmentation failure
+        mode the paper raises against huge-page-only designs (Sec. II-B).
+        """
+        if count <= 0:
+            raise SimulationError("contiguous allocation needs a positive count")
+        free = sorted(self._free_frames)
+        run_start = 0
+        for i in range(1, len(free) + 1):
+            if i == len(free) or free[i] != free[i - 1] + 1:
+                if i - run_start >= count:
+                    base = free[run_start]
+                    taken = set(range(base, base + count))
+                    self._free_frames = [f for f in free if f not in taken]
+                    return base
+                run_start = i
+        raise OutOfMemory(
+            f"no contiguous run of {count} frames (fragmented physical memory)"
+        )
+
+    def free_frame(self, frame_number: int) -> None:
+        """Return a frame to the free pool and drop its contents."""
+        self._check_frame(frame_number)
+        self._frames.pop(frame_number, None)
+        self._free_frames.append(frame_number)
+
+    @property
+    def frames_in_use(self) -> int:
+        return self.num_frames - len(self._free_frames)
+
+    def _check_frame(self, frame_number: int) -> None:
+        if not 0 <= frame_number < self.num_frames:
+            raise SimulationError(f"frame {frame_number} out of range")
+
+    def _backing(self, frame_number: int) -> bytearray:
+        self._check_frame(frame_number)
+        frame = self._frames.get(frame_number)
+        if frame is None:
+            frame = bytearray(self.frame_bytes)
+            self._frames[frame_number] = frame
+        return frame
+
+    # ------------------------------------------------------------------ #
+    # Byte access (physical addresses)
+    # ------------------------------------------------------------------ #
+
+    def read(self, paddr: int, length: int) -> bytes:
+        """Read ``length`` bytes at physical address ``paddr``."""
+        self._check_range(paddr, length)
+        out = bytearray()
+        remaining = length
+        addr = paddr
+        while remaining:
+            frame_number, offset = divmod(addr, self.frame_bytes)
+            chunk = min(remaining, self.frame_bytes - offset)
+            out += self._backing(frame_number)[offset : offset + chunk]
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``paddr``."""
+        self._check_range(paddr, len(data))
+        addr = paddr
+        view = memoryview(data)
+        while view:
+            frame_number, offset = divmod(addr, self.frame_bytes)
+            chunk = min(len(view), self.frame_bytes - offset)
+            self._backing(frame_number)[offset : offset + chunk] = view[:chunk]
+            addr += chunk
+            view = view[chunk:]
+
+    def _check_range(self, paddr: int, length: int) -> None:
+        if length < 0:
+            raise SimulationError("negative access length")
+        if paddr < 0 or paddr + length > self.capacity_bytes:
+            raise SimulationError(
+                f"physical access [0x{paddr:x}, +{length}) out of range"
+            )

@@ -1,0 +1,82 @@
+"""Set-associative TLB model with LRU replacement.
+
+Purely a timing/occupancy structure: it caches VPN -> PFN pairs that the MMU
+has already resolved functionally.  Hit/miss statistics feed the integration
+scheme comparison (CHA-TLB's dedicated 1024-entry TLB versus the
+Core-integrated scheme's shared L2-TLB).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..config import TlbConfig
+from ..sim.stats import StatsRegistry
+
+
+class Tlb:
+    """A set-associative translation lookaside buffer."""
+
+    def __init__(
+        self, config: TlbConfig, *, stats: Optional[StatsRegistry] = None, name: str = "tlb"
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.entries // config.associativity
+        self._sets: Dict[int, OrderedDict[int, int]] = {
+            i: OrderedDict() for i in range(self.num_sets)
+        }
+        self.stats = (stats or StatsRegistry()).scoped(name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evictions = self.stats.counter("evictions")
+
+    def _set_index(self, vpn: int) -> int:
+        return vpn % self.num_sets
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """Return the cached PFN for ``vpn``, updating LRU, or None."""
+        entry_set = self._sets[self._set_index(vpn)]
+        if vpn in entry_set:
+            entry_set.move_to_end(vpn)
+            self._hits.add()
+            return entry_set[vpn]
+        self._misses.add()
+        return None
+
+    def insert(self, vpn: int, pfn: int) -> None:
+        """Fill the TLB after a page walk, evicting LRU if needed."""
+        entry_set = self._sets[self._set_index(vpn)]
+        if vpn in entry_set:
+            entry_set.move_to_end(vpn)
+            entry_set[vpn] = pfn
+            return
+        if len(entry_set) >= self.config.associativity:
+            entry_set.popitem(last=False)
+            self._evictions.add()
+        entry_set[vpn] = pfn
+
+    def invalidate(self, vpn: Optional[int] = None) -> None:
+        """Shoot down one VPN, or flush the whole TLB when ``vpn`` is None."""
+        if vpn is None:
+            for entry_set in self._sets.values():
+                entry_set.clear()
+            return
+        self._sets[self._set_index(vpn)].pop(vpn, None)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

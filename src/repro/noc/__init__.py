@@ -1,0 +1,5 @@
+"""On-chip network models: a 2D mesh with link-utilisation accounting."""
+
+from .mesh import LinkUtilization, MeshNoc
+
+__all__ = ["LinkUtilization", "MeshNoc"]

@@ -1,0 +1,128 @@
+"""2D mesh NoC with XY routing, hop latency and link utilisation tracking.
+
+The paper's device-scheme critique rests on two NoC effects (Sec. V):
+
+* every access to a *centralised* accelerator crosses more of the mesh, and
+* the accelerator's single stop becomes a traffic hotspot ("each QEI
+  accelerator can saturate as much as 8% of the mesh NoC bandwidth").
+
+We model both: XY-routed messages charge bytes to each traversed link, and
+:meth:`hotspot_factor` reports the most-loaded link's share of capacity so
+experiments can show the congestion asymmetry between distributed and
+centralised placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..config import NocConfig
+from ..errors import ConfigurationError
+from ..sim.stats import StatsRegistry
+
+Link = Tuple[int, int]  # (src_node, dst_node), directed
+
+
+@dataclass
+class LinkUtilization:
+    """Bytes carried by one directed link."""
+
+    link: Link
+    bytes_carried: int
+
+
+class MeshNoc:
+    """A width x height mesh with deterministic XY routing."""
+
+    def __init__(self, config: NocConfig, *, stats: StatsRegistry = None) -> None:
+        self.config = config
+        self._link_bytes: Dict[Link, int] = {}
+        self.stats = (stats or StatsRegistry()).scoped("noc")
+        self._messages = self.stats.counter("messages")
+        self._total_bytes = self.stats.counter("bytes")
+        self._total_cycles = 0  # observation window length
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.config.num_nodes:
+            raise ConfigurationError(f"node {node} outside mesh")
+        return node % self.config.width, node // self.config.width
+
+    def node_at(self, x: int, y: int) -> int:
+        return y * self.config.width + x
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """XY route: travel in X first, then Y. Includes both endpoints."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step_x = 1 if dx > sx else -1
+        while x != dx:
+            x += step_x
+            path.append(self.node_at(x, y))
+        step_y = 1 if dy > sy else -1
+        while y != dy:
+            y += step_y
+            path.append(self.node_at(x, y))
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        """Zero-load latency of one message."""
+        per_hop = self.config.hop_cycles + self.config.router_cycles
+        return self.hops(src, dst) * per_hop
+
+    # ------------------------------------------------------------------ #
+    # Traffic accounting
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: int, dst: int, num_bytes: int, now: int = 0) -> int:
+        """Account one message and return its zero-load latency.
+
+        Bandwidth effects are summarised post-hoc via utilisation, rather
+        than back-pressuring each message; that keeps the simulator fast
+        while still exposing hotspots.
+        """
+        self._messages.add()
+        self._total_bytes.add(num_bytes)
+        path = self.route(src, dst)
+        for a, b in zip(path, path[1:]):
+            self._link_bytes[(a, b)] = self._link_bytes.get((a, b), 0) + num_bytes
+        self._total_cycles = max(self._total_cycles, now)
+        serialization = (num_bytes + self.config.link_bytes_per_cycle - 1) // (
+            self.config.link_bytes_per_cycle
+        )
+        return self.latency(src, dst) + max(0, serialization - 1)
+
+    def link_utilisations(self) -> Iterator[LinkUtilization]:
+        for link, nbytes in sorted(self._link_bytes.items()):
+            yield LinkUtilization(link, nbytes)
+
+    def hotspot_factor(self, window_cycles: int) -> float:
+        """Most-loaded link's utilisation over a window, in [0, 1+]."""
+        if window_cycles <= 0 or not self._link_bytes:
+            return 0.0
+        capacity = window_cycles * self.config.link_bytes_per_cycle
+        return max(self._link_bytes.values()) / capacity
+
+    def mean_link_utilisation(self, window_cycles: int) -> float:
+        if window_cycles <= 0 or not self._link_bytes:
+            return 0.0
+        capacity = window_cycles * self.config.link_bytes_per_cycle
+        # Count every directed link in the mesh, including idle ones.
+        w, h = self.config.width, self.config.height
+        num_links = 2 * ((w - 1) * h + (h - 1) * w)
+        return sum(self._link_bytes.values()) / (capacity * num_links)
+
+    def reset_traffic(self) -> None:
+        self._link_bytes.clear()
+        self._total_cycles = 0

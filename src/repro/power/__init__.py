@@ -1,0 +1,30 @@
+"""Area, static-power and dynamic-energy models (paper Sec. VI-A, VII-D).
+
+The paper evaluates cost with McPAT and CACTI "in an incremental way":
+baseline CPU, plus QEI components, difference reported.  We implement the
+same methodology analytically: :mod:`cacti` provides SRAM/CAM/logic area and
+leakage primitives at 22nm whose constants are calibrated against the
+paper's published McPAT/CACTI outputs (Tab. III); :mod:`mcpat` aggregates
+components into configurations; :mod:`qei_cost` builds the three evaluated
+configurations (QEI-10, QEI-10+TLB, QEI-240) and the per-query dynamic
+energy model behind Fig. 12.
+"""
+
+from .cacti import CAM_MM2_PER_ENTRY, SramMacro, logic_block
+from .mcpat import ComponentCost, Configuration
+from .qei_cost import (
+    DynamicEnergyModel,
+    qei_configuration,
+    tab3_configurations,
+)
+
+__all__ = [
+    "CAM_MM2_PER_ENTRY",
+    "ComponentCost",
+    "Configuration",
+    "DynamicEnergyModel",
+    "SramMacro",
+    "logic_block",
+    "qei_configuration",
+    "tab3_configurations",
+]

@@ -1,0 +1,11 @@
+"""Event-driven simulation kernel.
+
+The kernel is deliberately small: a priority queue of timestamped events and
+a statistics registry.  Components (caches, NoC, the QEI accelerator) are
+plain objects that schedule callbacks on a shared :class:`Engine`.
+"""
+
+from .engine import Engine, Event
+from .stats import Counter, Histogram, StatsRegistry
+
+__all__ = ["Engine", "Event", "Counter", "Histogram", "StatsRegistry"]

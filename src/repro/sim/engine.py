@@ -1,0 +1,117 @@
+"""A minimal discrete-event simulation engine with integer cycle time.
+
+Components schedule callables at absolute or relative cycle times; the engine
+pops events in (time, sequence) order so same-cycle events run in scheduling
+order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordered by (time, seq)."""
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """Priority-queue event loop with integer cycle timestamps."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; current time is {self._now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: stop once simulation time would exceed this cycle.
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                self.step()
+                processed += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def advance(self, cycles: int) -> int:
+        """Run events for the next ``cycles`` cycles and advance time."""
+        return self.run(until=self._now + cycles)

@@ -1,0 +1,154 @@
+"""Statistics primitives: counters, histograms and a registry.
+
+Every architectural component keeps its measurements in a
+:class:`StatsRegistry` so experiment drivers can snapshot, diff, and report
+without reaching into component internals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing (but resettable) event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A value histogram that tracks count/sum/min/max plus percentiles."""
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; ``pct`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f}, "
+            f"max={self.maximum:.2f})"
+        )
+
+
+class StatsRegistry:
+    """Hierarchical named counters and histograms.
+
+    Names are dotted paths such as ``"l2.misses"`` or ``"qei.uops.compare"``.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) the counter with this name."""
+        full = self._qualify(name)
+        if full not in self._counters:
+            self._counters[full] = Counter(full)
+        return self._counters[full]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get (or lazily create) the histogram with this name."""
+        full = self._qualify(name)
+        if full not in self._histograms:
+            self._histograms[full] = Histogram(full)
+        return self._histograms[full]
+
+    def scoped(self, prefix: str) -> "StatsRegistry":
+        """A view that shares storage but prepends ``prefix`` to names."""
+        view = StatsRegistry(self._qualify(prefix))
+        view._counters = self._counters
+        view._histograms = self._histograms
+        return view
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counter values (histograms reported as their totals)."""
+        out: Dict[str, float] = {c.name: c.value for c in self._counters.values()}
+        for h in self._histograms.values():
+            out[f"{h.name}.count"] = h.count
+            out[f"{h.name}.total"] = h.total
+        return out
+
+    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Per-name deltas of the current snapshot versus ``before``."""
+        now = self.snapshot()
+        keys = set(now) | set(before)
+        return {k: now.get(k, 0.0) - before.get(k, 0.0) for k in keys}
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        yield from sorted(self.snapshot().items())
+
+    def report(self, only: Iterable[str] = ()) -> str:
+        """Human-readable dump, optionally filtered by name prefixes."""
+        prefixes = tuple(only)
+        lines = []
+        for name, value in self.items():
+            if prefixes and not name.startswith(prefixes):
+                continue
+            lines.append(f"{name:<48} {value}")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""System facade: one simulated machine, ready to run queries.
+
+Builds the full substrate stack (physical memory, process address space,
+MMUs, cache hierarchy, mesh NoC, cores) plus the QEI accelerator for a
+chosen integration scheme, and exposes the handful of operations the
+workloads and experiment drivers need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import IntegrationScheme, SystemConfig
+from .core.accelerator import QeiAccelerator
+from .core.integration import build_integration
+from .core.isa import QueryPort
+from .core.programs import default_firmware
+from .cpu.core import CoreResult, OoOCore
+from .cpu.trace import Trace
+from .datastructs.base import ProcessMemory
+from .mem.hierarchy import MemoryHierarchy
+from .mem.mmu import Mmu
+from .noc.mesh import MeshNoc
+from .sim.engine import Engine
+from .sim.stats import StatsRegistry
+
+
+class System:
+    """A simulated machine: substrates + QEI under one integration scheme."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        scheme: "IntegrationScheme | str" = IntegrationScheme.CORE_INTEGRATED,
+        *,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.scheme = IntegrationScheme.parse(scheme)
+        self.stats = stats or StatsRegistry()
+        self.engine = Engine()
+
+        self.noc = MeshNoc(self.config.noc, stats=self.stats)
+        self.hierarchy = MemoryHierarchy(
+            self.config,
+            stats=self.stats,
+            hop_latency=self.noc.latency,
+            noc_charge=lambda s, d, n, now: self.noc.send(s, d, n, now),
+        )
+        self.mem = ProcessMemory(physical_bytes=self.config.memory_bytes)
+        self.space = self.mem.space
+        self.core_mmus = [
+            Mmu(
+                self.space,
+                [self.config.core.l1_dtlb, self.config.core.l2_tlb],
+                stats=self.stats,
+                name=f"core{i}.mmu",
+            )
+            for i in range(self.config.num_cores)
+        ]
+        self.cores = [
+            OoOCore(
+                i, self.config.core, self.hierarchy, self.core_mmus[i],
+                stats=self.stats,
+            )
+            for i in range(self.config.num_cores)
+        ]
+        self.firmware = default_firmware(max_states=self.config.qei.max_states)
+        self.integration = build_integration(
+            self.scheme,
+            self.config,
+            self.hierarchy,
+            self.noc,
+            self.space,
+            self.core_mmus,
+            stats=self.stats,
+        )
+        self.accelerator = QeiAccelerator(
+            self.engine,
+            self.firmware,
+            self.integration,
+            self.space,
+            qst_entries=self.config.effective_qst_entries(self.scheme),
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def query_port(self, core_id: int = 0) -> QueryPort:
+        """A per-core port that QUERY micro-ops resolve through."""
+        return QueryPort(self.accelerator, core_id)
+
+    def run_trace(
+        self,
+        trace: Trace,
+        *,
+        core_id: int = 0,
+        port: Optional[QueryPort] = None,
+        start_cycle: Optional[int] = None,
+    ) -> CoreResult:
+        """Execute one micro-op trace on a core, resolving queries via QEI.
+
+        Successive calls continue from the simulation's current time so the
+        accelerator's event clock and the core clock stay aligned.
+        """
+        start = self.engine.now if start_cycle is None else start_cycle
+        resolver = port if port is not None else self.query_port(core_id)
+        result = self.cores[core_id].execute(
+            trace, start_cycle=start, external=resolver
+        )
+        # Bring the event clock up to the core's completion point.
+        if result.end_cycle > self.engine.now:
+            self.engine.run(until=result.end_cycle)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def warm_llc(self) -> None:
+        """Install every mapped line into the LLC (steady-state start).
+
+        The paper evaluates ROIs inside running benchmarks ("we generate
+        queries as quickly and densely as possible"), so query data is
+        LLC-resident at measurement time.  This fills LLC slices directly —
+        private caches and TLBs stay cold and warm organically during the
+        run, for both the software baseline and QEI.
+        """
+        page = self.space.page_bytes
+        lines_per_page = page // 64
+        pairs = []
+        for vpn, entry in self.space.page_table:
+            pairs.append((vpn, entry.frame_number * page))
+            base_line = entry.frame_number * lines_per_page
+            for i in range(lines_per_page):
+                line = base_line + i
+                self.hierarchy.llc_slices[self.hierarchy.slice_of(line)].fill(line)
+        huge = self.space.HUGE_PAGE_BYTES
+        for hpn, base_frame in getattr(self.space, "_huge_pages", {}).items():
+            pairs.append((self.space.HUGE_KEY_BASE + hpn, base_frame * page))
+            base_line = base_frame * lines_per_page
+            for i in range(huge // 64):
+                line = base_line + i
+                self.hierarchy.llc_slices[self.hierarchy.slice_of(line)].fill(line)
+        self.integration.warm_translations(pairs)
+
+    def flush_caches(self) -> None:
+        """Cold-start the memory system (between experiment phases)."""
+        self.hierarchy.flush_all()
+        for mmu in self.core_mmus:
+            mmu.flush()
+        self.integration.flush_translations()
+
+    def warm_structure(self, paddr_lines: list, core_id: int = 0) -> None:
+        self.hierarchy.warm_lines(core_id, paddr_lines)

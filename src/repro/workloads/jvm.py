@@ -1,0 +1,78 @@
+"""JVM benchmark: garbage-collection object-tree traversals (Sec. VI-B).
+
+The paper extracts OpenJDK's serial mark-and-sweep collector and feeds it a
+real object tree dumped from Derby in SPECjvm2008.  We substitute a
+synthetic object tree with the same *shape driver*: a binary search tree
+over hashed 8-byte object identifiers, so root-to-object paths are long
+pointer chases (the paper reports ~39.9 memory accesses per query in this
+benchmark).  Each mark "query" locates one live object from the root —
+exactly the data-dependent traversal QEI's tree CFA executes.
+
+Query density is high: the mark loop does little besides traversal, so the
+core can keep many queries in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu.trace import TraceBuilder
+from ..datastructs import BinarySearchTree
+from ..system import System
+from .base import QueryWorkload
+from .generator import make_keys, pick_queries
+
+KEY_LENGTH = 8  # object identifiers
+
+
+class JvmGcWorkload(QueryWorkload):
+    """Mark-phase object lookups over the live-object tree."""
+
+    name = "jvm"
+    roi_other_work = 8        # mark-bit set + worklist push
+    app_other_work = 180      # allocation, barriers, the mutator's share
+    #: calibrated so GC queries take ~39% of app time (paper Fig. 1)
+    app_other_cycles = 1150
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        num_objects: int = 20000,
+        num_queries: int = 150,
+        seed: int = 5,
+    ) -> None:
+        super().__init__(system, num_queries=num_queries, seed=seed)
+        self.num_objects = num_objects
+        self.tree: Optional[BinarySearchTree] = None
+
+    def build(self) -> None:
+        self.tree = BinarySearchTree(self.system.mem, key_length=KEY_LENGTH)
+        # Hashed identifiers give a random insertion order, so the BST stays
+        # roughly balanced at ~log2(n) expected depth (like heap object
+        # graphs, deep but not degenerate).
+        object_ids = make_keys(self.num_objects, KEY_LENGTH, seed=self.seed)
+        for i, oid in enumerate(object_ids):
+            self.tree.insert(oid, 0x100000 + i)
+        queries = pick_queries(
+            object_ids,
+            self.num_queries,
+            miss_ratio=0.0,  # the collector only visits reachable objects
+            key_length=KEY_LENGTH,
+            seed=self.seed + 1,
+        )
+        expected = [self.tree.lookup(q) for q in queries]
+        self._register_queries(queries, expected)
+
+    def header_addr_for(self, index: int) -> int:
+        return self.tree.header_addr
+
+    def emit_software_query(self, builder: TraceBuilder, index: int):
+        return self.tree.emit_lookup(
+            builder, self._query_addrs[index], self._queries[index]
+        )
+
+    def mean_path_depth(self) -> float:
+        """Average root-to-object path length of the query stream."""
+        depths = [self.tree.depth_of(q) for q in self._queries]
+        return sum(depths) / len(depths) if depths else 0.0

@@ -1,0 +1,188 @@
+"""Edge-case unit tests for the accelerator engine's internals."""
+
+import pytest
+
+from repro import small_config
+from repro.config import PAGE_BYTES
+from repro.core.accelerator import QueryRequest, QueryStatus
+from repro.datastructs import CuckooHashTable, LinkedList, SkipList
+from repro.errors import AcceleratorError
+from repro.system import System
+
+
+@pytest.fixture
+def system():
+    return System(small_config())
+
+
+def keys_of(n, length=16):
+    return [(b"k%d" % i).ljust(length, b"_") for i in range(n)]
+
+
+class TestSpeculativeFetchTruncation:
+    def test_usable_length_respects_unmapped_tail(self, system):
+        # Allocate near the end of a mapped page, with the next page unmapped.
+        space = system.space
+        vaddr = 0x0800_0000
+        space.map_page(vaddr)
+        probe_base = vaddr + PAGE_BYTES - 24  # room for 24 mapped bytes only
+        accel = system.accelerator
+        usable = accel._usable_length(probe_base, 64, 24)
+        assert usable == 24
+
+    def test_usable_length_extends_through_mapped_pages(self, system):
+        space = system.space
+        vaddr = 0x0900_0000
+        space.map_page(vaddr)
+        space.map_page(vaddr + PAGE_BYTES)
+        probe_base = vaddr + PAGE_BYTES - 24
+        usable = system.accelerator._usable_length(probe_base, 64, 24)
+        assert usable == 64
+
+    def test_mandatory_prefix_faults_normally(self, system):
+        assert system.accelerator._usable_length(0x1000, 64, None) == 64
+
+    def test_skiplist_query_near_page_edge_is_correct(self, system):
+        """End-to-end: tall-tower nodes at page edges must not corrupt."""
+        sl = SkipList(system.mem, key_length=16)
+        keys = keys_of(150)
+        for i, key in enumerate(keys):
+            sl.insert(key, 3000 + i)
+        for key in keys[::13]:
+            handle = system.accelerator.submit(
+                QueryRequest(
+                    header_addr=sl.header_addr, key_addr=sl.store_key(key)
+                ),
+                system.engine.now,
+            )
+            system.accelerator.wait_for(handle)
+            assert handle.value == sl.lookup(key)
+
+
+class TestQueryQueueFairness:
+    def test_queued_queries_complete_in_fifo_order(self, system):
+        """With the QST full, the admission queue drains in arrival order."""
+        ht = CuckooHashTable(system.mem, key_length=16, num_buckets=64)
+        keys = keys_of(30)
+        for i, key in enumerate(keys):
+            ht.insert(key, i)
+        handles = []
+        for key in keys:  # 30 > 10 QST entries
+            handles.append(
+                system.accelerator.submit(
+                    QueryRequest(
+                        header_addr=ht.header_addr, key_addr=ht.store_key(key)
+                    ),
+                    0,
+                )
+            )
+        for handle in handles:
+            system.accelerator.wait_for(handle)
+        accept_order = [h.accept_cycle for h in handles]
+        assert accept_order == sorted(accept_order)
+        assert all(h.status is QueryStatus.FOUND for h in handles)
+
+    def test_wait_for_detects_starved_engine(self, system):
+        """A handle that can never complete raises instead of spinning."""
+        from repro.core.accelerator import QueryHandle
+
+        orphan = QueryHandle(
+            QueryRequest(header_addr=0x40, key_addr=0x80), submit_cycle=0
+        )
+        with pytest.raises(AcceleratorError):
+            system.accelerator.wait_for(orphan)
+
+
+class TestOnDoneCallbacks:
+    def test_callback_fires_on_completion(self, system):
+        ll = LinkedList(system.mem, key_length=16)
+        ll.insert(keys_of(1)[0], 5)
+        fired = []
+        handle = system.accelerator.submit(
+            QueryRequest(
+                header_addr=ll.header_addr,
+                key_addr=ll.store_key(keys_of(1)[0]),
+            ),
+            0,
+        )
+        handle.on_done(lambda h: fired.append(h.value))
+        system.accelerator.wait_for(handle)
+        assert fired == [5]
+
+    def test_callback_on_already_done_handle_fires_immediately(self, system):
+        ll = LinkedList(system.mem, key_length=16)
+        ll.insert(keys_of(1)[0], 9)
+        handle = system.accelerator.submit(
+            QueryRequest(
+                header_addr=ll.header_addr,
+                key_addr=ll.store_key(keys_of(1)[0]),
+            ),
+            0,
+        )
+        system.accelerator.wait_for(handle)
+        fired = []
+        handle.on_done(lambda h: fired.append(True))
+        assert fired == [True]
+
+
+class TestMixedModeTraffic:
+    def test_blocking_and_non_blocking_interleave(self, system):
+        ht = CuckooHashTable(system.mem, key_length=16, num_buckets=64)
+        keys = keys_of(20)
+        for i, key in enumerate(keys):
+            ht.insert(key, i)
+        handles = []
+        for i, key in enumerate(keys):
+            blocking = i % 2 == 0
+            result_addr = 0 if blocking else system.mem.alloc(16)
+            handles.append(
+                system.accelerator.submit(
+                    QueryRequest(
+                        header_addr=ht.header_addr,
+                        key_addr=ht.store_key(key),
+                        blocking=blocking,
+                        result_addr=result_addr,
+                    ),
+                    system.engine.now,
+                )
+            )
+        for handle in handles:
+            system.accelerator.wait_for(handle)
+        for i, handle in enumerate(handles):
+            assert handle.value == i
+            if not handle.request.blocking:
+                assert system.space.read_u64(handle.request.result_addr) == 1
+
+    def test_same_key_concurrent_queries_agree(self, system):
+        ht = CuckooHashTable(system.mem, key_length=16, num_buckets=64)
+        key = keys_of(1)[0]
+        ht.insert(key, 123)
+        key_addr = ht.store_key(key)
+        handles = [
+            system.accelerator.submit(
+                QueryRequest(header_addr=ht.header_addr, key_addr=key_addr), 0
+            )
+            for _ in range(8)
+        ]
+        for handle in handles:
+            system.accelerator.wait_for(handle)
+        assert {h.value for h in handles} == {123}
+
+
+class TestDrain:
+    def test_drain_completes_everything(self, system):
+        ll = LinkedList(system.mem, key_length=16)
+        keys = keys_of(6)
+        for i, key in enumerate(keys):
+            ll.insert(key, i)
+        handles = [
+            system.accelerator.submit(
+                QueryRequest(
+                    header_addr=ll.header_addr, key_addr=ll.store_key(key)
+                ),
+                0,
+            )
+            for key in keys
+        ]
+        system.accelerator.drain()
+        assert all(h.done for h in handles)

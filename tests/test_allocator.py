@@ -1,0 +1,106 @@
+"""Unit tests for the bump arena and page-scattering heap allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem import AddressSpace, BumpArena, PageScatterAllocator, PhysicalMemory
+from repro.mem.allocator import align_up
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(PhysicalMemory(16 * 1024 * 1024))
+
+
+def test_align_up():
+    assert align_up(0, 8) == 0
+    assert align_up(1, 8) == 8
+    assert align_up(8, 8) == 8
+    assert align_up(65, 64) == 128
+
+
+def test_align_up_rejects_non_power_of_two():
+    with pytest.raises(AllocationError):
+        align_up(10, 3)
+
+
+class TestBumpArena:
+    def test_sequential_allocations_do_not_overlap(self, space):
+        arena = BumpArena(space, 0x100000, 64 * 1024)
+        a = arena.allocate(100)
+        b = arena.allocate(100)
+        assert b >= a + 100
+        space.write(a, b"A" * 100)
+        space.write(b, b"B" * 100)
+        assert space.read(a, 100) == b"A" * 100
+
+    def test_alignment_respected(self, space):
+        arena = BumpArena(space, 0x100000, 64 * 1024)
+        arena.allocate(3)
+        addr = arena.allocate(16, alignment=64)
+        assert addr % 64 == 0
+
+    def test_exhaustion_raises(self, space):
+        arena = BumpArena(space, 0x100000, 4096)
+        arena.allocate(4000)
+        with pytest.raises(AllocationError):
+            arena.allocate(200)
+
+    def test_pages_mapped_lazily(self, space):
+        before = space.physical.frames_in_use
+        arena = BumpArena(space, 0x100000, 1024 * 1024)
+        assert space.physical.frames_in_use == before
+        arena.allocate(10)
+        assert space.physical.frames_in_use == before + 1
+
+    def test_reset_allows_reuse(self, space):
+        arena = BumpArena(space, 0x100000, 8192)
+        first = arena.allocate(4096)
+        arena.reset()
+        assert arena.allocate(4096) == first
+
+    def test_bad_sizes_rejected(self, space):
+        arena = BumpArena(space, 0x100000, 8192)
+        with pytest.raises(AllocationError):
+            arena.allocate(0)
+        with pytest.raises(AllocationError):
+            BumpArena(space, 0x100001, 8192)  # unaligned base
+
+
+class TestPageScatterAllocator:
+    def test_allocations_are_usable_memory(self, space):
+        heap = PageScatterAllocator(space, 0x1000000, 4 * 1024 * 1024)
+        addrs = [heap.allocate(200) for _ in range(50)]
+        for i, addr in enumerate(addrs):
+            space.write(addr, bytes([i % 256]) * 200)
+        for i, addr in enumerate(addrs):
+            assert space.read(addr, 200) == bytes([i % 256]) * 200
+
+    def test_physical_frames_are_scattered(self, space):
+        heap = PageScatterAllocator(
+            space, 0x1000000, 8 * 1024 * 1024, scatter_frames=4, chunk_pages=2
+        )
+        # Allocate enough to span many chunks.
+        addrs = [heap.allocate(4096) for _ in range(20)]
+        paddrs = [space.translate(a - (a % 4096) + 0) for a in addrs]
+        deltas = [abs(b - a) for a, b in zip(paddrs, paddrs[1:])]
+        # At least some adjacent virtual pages must be physically distant.
+        assert any(d > 4096 for d in deltas)
+
+    def test_large_allocation_spans_refill(self, space):
+        heap = PageScatterAllocator(space, 0x1000000, 8 * 1024 * 1024, chunk_pages=2)
+        big = heap.allocate(5 * 4096)
+        space.write(big, b"z" * 5 * 4096)
+        assert space.read(big + 4 * 4096, 10) == b"z" * 10
+
+    def test_exhaustion_raises(self, space):
+        heap = PageScatterAllocator(space, 0x1000000, 64 * 1024, chunk_pages=4)
+        with pytest.raises(AllocationError):
+            for _ in range(100):
+                heap.allocate(4096)
+
+    def test_total_allocated_tracked(self, space):
+        heap = PageScatterAllocator(space, 0x1000000, 1024 * 1024)
+        heap.allocate(100)
+        heap.allocate(200)
+        assert heap.total_allocated == 300

@@ -1,0 +1,132 @@
+"""Tests for the B+-tree extension structure and its firmware program."""
+
+import pytest
+
+from repro import small_config
+from repro.core.accelerator import QueryRequest, QueryStatus
+from repro.core.programs_ext import BPlusTreeCfa
+from repro.cpu import TraceBuilder
+from repro.datastructs import BPlusTree, ProcessMemory
+from repro.errors import DataStructureError
+from repro.system import System
+
+
+def keys_of(n, length=16):
+    return [(b"idx-%04d" % i).ljust(length, b"_") for i in range(n)]
+
+
+@pytest.fixture
+def mem():
+    return ProcessMemory(physical_bytes=64 * 1024 * 1024)
+
+
+def build_tree(mem, n=200, fanout=8, key_length=16):
+    tree = BPlusTree(mem, key_length=key_length, fanout=fanout)
+    tree.bulk_load([(k, 9000 + i) for i, k in enumerate(keys_of(n, key_length))])
+    return tree
+
+
+class TestBPlusTreeFunctional:
+    def test_bulk_load_and_lookup(self, mem):
+        tree = build_tree(mem)
+        keys = keys_of(200)
+        for i, key in enumerate(keys):
+            assert tree.lookup(key) == 9000 + i
+        assert tree.lookup(b"absent".ljust(16, b"_")) is None
+        assert len(tree) == 200
+
+    def test_items_sorted_via_leaf_chain(self, mem):
+        tree = build_tree(mem, n=100)
+        stored = [k for k, _ in tree.items()]
+        assert stored == sorted(keys_of(100))
+
+    def test_height_grows_logarithmically(self, mem):
+        small = build_tree(mem, n=8, fanout=8)
+        assert small.height == 1  # a single leaf
+        bigger = build_tree(ProcessMemoryFactory(), n=200, fanout=4)
+        assert bigger.height >= 4
+
+    def test_range_count(self, mem):
+        tree = build_tree(mem, n=50)
+        keys = keys_of(50)
+        assert tree.range_count(keys[10], keys[19]) == 10
+        assert tree.range_count(keys[0], keys[49]) == 50
+
+    def test_duplicate_keys_rejected(self, mem):
+        tree = BPlusTree(mem, key_length=16)
+        k = keys_of(1)[0]
+        with pytest.raises(DataStructureError):
+            tree.bulk_load([(k, 1), (k, 2)])
+
+    def test_empty_load_rejected(self, mem):
+        tree = BPlusTree(mem, key_length=16)
+        with pytest.raises(DataStructureError):
+            tree.bulk_load([])
+
+    def test_query_before_build_rejected(self, mem):
+        tree = BPlusTree(mem, key_length=16)
+        with pytest.raises(DataStructureError):
+            tree.lookup(keys_of(1)[0])
+
+    def test_bad_fanout_rejected(self, mem):
+        with pytest.raises(DataStructureError):
+            BPlusTree(mem, key_length=16, fanout=1)
+
+
+def ProcessMemoryFactory():
+    return ProcessMemory(physical_bytes=64 * 1024 * 1024)
+
+
+class TestBPlusTreeTrace:
+    def test_emit_agrees_with_lookup(self, mem):
+        tree = build_tree(mem, n=120, fanout=4)
+        for key in keys_of(120)[::17] + [b"missing".ljust(16, b"_")]:
+            builder = TraceBuilder()
+            addr = tree.store_key(key)
+            assert tree.emit_lookup(builder, addr, key) == tree.lookup(key)
+            assert len(builder.trace) > 5
+
+    def test_trace_depth_scales_with_height(self, mem):
+        shallow = build_tree(mem, n=8, fanout=8)
+        deep = build_tree(ProcessMemoryFactory(), n=512, fanout=4)
+        key_s = keys_of(8)[3]
+        key_d = keys_of(512)[300]
+        b1, b2 = TraceBuilder(), TraceBuilder()
+        shallow.emit_lookup(b1, shallow.store_key(key_s), key_s)
+        deep.emit_lookup(b2, deep.store_key(key_d), key_d)
+        assert len(b2.trace) > len(b1.trace)
+
+
+class TestBPlusTreeCfa:
+    def test_fault_without_firmware(self):
+        system = System(small_config())
+        tree = build_tree(system.mem, n=40)
+        handle = system.accelerator.submit(
+            QueryRequest(
+                header_addr=tree.header_addr,
+                key_addr=tree.store_key(keys_of(40)[0]),
+            ),
+            0,
+        )
+        system.accelerator.wait_for(handle)
+        assert handle.status is QueryStatus.FAULT
+
+    def test_firmware_lookup_agrees(self):
+        system = System(small_config())
+        system.firmware.register(BPlusTreeCfa())
+        tree = build_tree(system.mem, n=300, fanout=8)
+        for key in keys_of(300)[::23] + [b"nope".ljust(16, b"_")]:
+            handle = system.accelerator.submit(
+                QueryRequest(
+                    header_addr=tree.header_addr,
+                    key_addr=tree.store_key(key),
+                ),
+                system.engine.now,
+            )
+            system.accelerator.wait_for(handle)
+            assert handle.value == tree.lookup(key), key
+
+    def test_program_fits_state_budget(self):
+        program = BPlusTreeCfa()
+        program.validate(256)
+        assert len(program.STATES) <= 16

@@ -1,0 +1,327 @@
+"""Unit tests for simulated-memory data structures.
+
+Every structure is checked three ways: the pure functional ``lookup``, the
+trace-emitting ``emit_lookup`` (which must agree *and* produce a sane trace),
+and layout invariants read back from raw simulated memory.
+"""
+
+import pytest
+
+from repro.cpu import TraceBuilder
+from repro.cpu.isa import OpKind
+from repro.datastructs import (
+    AhoCorasickTrie,
+    BinarySearchTree,
+    CuckooHashTable,
+    HashOfLists,
+    LinkedList,
+    ProcessMemory,
+    SkipList,
+    Trie,
+)
+from repro.errors import DataStructureError
+
+
+@pytest.fixture
+def mem():
+    return ProcessMemory(physical_bytes=128 * 1024 * 1024)
+
+
+def keys_of(n, length=16, prefix=b"k"):
+    return [
+        (prefix + str(i).encode()).ljust(length, b"_")[:length] for i in range(n)
+    ]
+
+
+class TestLinkedList:
+    def test_lookup_hit_and_miss(self, mem):
+        ll = LinkedList(mem, key_length=16)
+        keys = keys_of(20)
+        for i, k in enumerate(keys):
+            ll.insert(k, 1000 + i)
+        assert ll.lookup(keys[7]) == 1007
+        assert ll.lookup(b"absent".ljust(16, b"_")) is None
+        assert len(ll) == 20
+
+    def test_emit_lookup_agrees_with_lookup(self, mem):
+        ll = LinkedList(mem, key_length=16)
+        keys = keys_of(10)
+        for i, k in enumerate(keys):
+            ll.insert(k, i)
+        for k in keys + [b"missing".ljust(16, b"_")]:
+            b = TraceBuilder()
+            key_addr = ll.store_key(k)
+            assert ll.emit_lookup(b, key_addr, k) == ll.lookup(k)
+
+    def test_trace_grows_with_probe_depth(self, mem):
+        ll = LinkedList(mem, key_length=16)
+        keys = keys_of(30)
+        for i, k in enumerate(keys):
+            ll.insert(k, i)
+        # Inserts prepend: the first-inserted key is deepest.
+        deep, shallow = keys[0], keys[-1]
+        b1, b2 = TraceBuilder(), TraceBuilder()
+        ll.emit_lookup(b1, ll.store_key(deep), deep)
+        ll.emit_lookup(b2, ll.store_key(shallow), shallow)
+        assert len(b1.trace) > len(b2.trace)
+
+    def test_key_length_enforced(self, mem):
+        ll = LinkedList(mem, key_length=16)
+        with pytest.raises(DataStructureError):
+            ll.insert(b"short", 1)
+
+    def test_nodes_iteration_order(self, mem):
+        ll = LinkedList(mem, key_length=16)
+        keys = keys_of(3)
+        for i, k in enumerate(keys):
+            ll.insert(k, i)
+        seen = [k for _, k, _ in ll.nodes()]
+        assert seen == list(reversed(keys))  # prepend order
+
+
+class TestCuckooHashTable:
+    def test_insert_lookup_roundtrip(self, mem):
+        ht = CuckooHashTable(mem, key_length=16, num_buckets=64)
+        keys = keys_of(200)
+        for i, k in enumerate(keys):
+            ht.insert(k, i)
+        for i, k in enumerate(keys):
+            assert ht.lookup(k) == i
+        assert ht.lookup(b"nope".ljust(16, b"_")) is None
+
+    def test_update_in_place(self, mem):
+        ht = CuckooHashTable(mem, key_length=16, num_buckets=64)
+        k = keys_of(1)[0]
+        ht.insert(k, 1)
+        ht.insert(k, 2)
+        assert ht.lookup(k) == 2
+        assert len(ht) == 1
+
+    def test_emit_lookup_agrees(self, mem):
+        ht = CuckooHashTable(mem, key_length=16, num_buckets=64)
+        keys = keys_of(100)
+        for i, k in enumerate(keys):
+            ht.insert(k, i)
+        for k in keys[:20] + [b"missing".ljust(16, b"_")]:
+            b = TraceBuilder()
+            assert ht.emit_lookup(b, ht.store_key(k), k) == ht.lookup(k)
+
+    def test_lookup_trace_is_short_and_flat(self, mem):
+        # Hash table queries have a small fixed number of loads (Sec. VII-A).
+        ht = CuckooHashTable(mem, key_length=16, num_buckets=256)
+        keys = keys_of(500)
+        for i, k in enumerate(keys):
+            ht.insert(k, i)
+        lengths = []
+        for k in keys[:50]:
+            b = TraceBuilder()
+            ht.emit_lookup(b, ht.store_key(k), k)
+            loads = sum(1 for op in b.trace if op.kind is OpKind.LOAD)
+            lengths.append(loads)
+        assert max(lengths) < 25
+
+    def test_high_load_factor(self, mem):
+        ht = CuckooHashTable(mem, key_length=16, num_buckets=32, entries_per_bucket=8)
+        keys = keys_of(200)  # ~78% load factor
+        for i, k in enumerate(keys):
+            ht.insert(k, i)
+        assert all(ht.lookup(k) == i for i, k in enumerate(keys))
+
+    def test_rejects_non_power_of_two_buckets(self, mem):
+        with pytest.raises(DataStructureError):
+            CuckooHashTable(mem, key_length=16, num_buckets=100)
+
+
+class TestSkipList:
+    def test_sorted_iteration(self, mem):
+        sl = SkipList(mem, key_length=16)
+        keys = keys_of(50)
+        for i, k in enumerate(keys):
+            sl.insert(k, i)
+        stored = [k for k, _ in sl.items()]
+        assert stored == sorted(keys)
+
+    def test_lookup_hit_and_miss(self, mem):
+        sl = SkipList(mem, key_length=16)
+        keys = keys_of(100)
+        for i, k in enumerate(keys):
+            sl.insert(k, i)
+        for i, k in enumerate(keys):
+            assert sl.lookup(k) == i
+        assert sl.lookup(b"zzz".ljust(16, b"z")) is None
+
+    def test_update_in_place(self, mem):
+        sl = SkipList(mem, key_length=16)
+        k = keys_of(1)[0]
+        sl.insert(k, 1)
+        sl.insert(k, 9)
+        assert sl.lookup(k) == 9
+        assert len(sl) == 1
+
+    def test_emit_lookup_agrees(self, mem):
+        sl = SkipList(mem, key_length=16)
+        keys = keys_of(60)
+        for i, k in enumerate(keys):
+            sl.insert(k, i)
+        for k in keys[:15] + [b"absent".ljust(16, b"_")]:
+            b = TraceBuilder()
+            assert sl.emit_lookup(b, sl.store_key(k), k) == sl.lookup(k)
+
+    def test_towers_bounded_by_max_level(self, mem):
+        sl = SkipList(mem, key_length=16, max_level=4)
+        for i, k in enumerate(keys_of(100)):
+            sl.insert(k, i)
+        assert all(sl.lookup(k) is not None for k in keys_of(100))
+
+
+class TestBinarySearchTree:
+    def test_inorder_is_sorted(self, mem):
+        bst = BinarySearchTree(mem, key_length=16)
+        keys = keys_of(80)
+        for i, k in enumerate(keys):
+            bst.insert(k, i)
+        stored = [k for k, _ in bst.items()]
+        assert stored == sorted(keys)
+
+    def test_lookup_and_depth(self, mem):
+        bst = BinarySearchTree(mem, key_length=16)
+        keys = keys_of(64)
+        for i, k in enumerate(keys):
+            bst.insert(k, i)
+        assert all(bst.lookup(k) == i for i, k in enumerate(keys))
+        assert bst.lookup(b"missing".ljust(16, b"_")) is None
+        assert bst.depth_of(keys[0]) == 1  # first insert is the root
+
+    def test_emit_lookup_agrees(self, mem):
+        bst = BinarySearchTree(mem, key_length=16)
+        keys = keys_of(40)
+        for i, k in enumerate(keys):
+            bst.insert(k, i)
+        for k in keys[:10] + [b"absent".ljust(16, b"_")]:
+            b = TraceBuilder()
+            assert bst.emit_lookup(b, bst.store_key(k), k) == bst.lookup(k)
+
+    def test_deeper_keys_cost_more_trace(self, mem):
+        bst = BinarySearchTree(mem, key_length=16)
+        keys = keys_of(128)
+        for i, k in enumerate(keys):
+            bst.insert(k, i)
+        root_key = keys[0]
+        deepest = max(keys, key=bst.depth_of)
+        b1, b2 = TraceBuilder(), TraceBuilder()
+        bst.emit_lookup(b1, bst.store_key(root_key), root_key)
+        bst.emit_lookup(b2, bst.store_key(deepest), deepest)
+        assert len(b2.trace) > len(b1.trace)
+
+
+class TestTrie:
+    def test_exact_match(self, mem):
+        trie = Trie(mem, key_length=32)
+        words = [b"he", b"she", b"his", b"hers"]
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        trie.seal()
+        for i, w in enumerate(words):
+            assert trie.lookup(w) == i
+        assert trie.lookup(b"her") is None
+        assert trie.lookup(b"x") is None
+
+    def test_query_before_seal_rejected(self, mem):
+        trie = Trie(mem, key_length=8)
+        trie.insert(b"a", 0)
+        with pytest.raises(DataStructureError):
+            trie.lookup(b"a")
+
+    def test_emit_lookup_agrees(self, mem):
+        trie = Trie(mem, key_length=32)
+        words = [b"cat", b"car", b"cart", b"dog"]
+        for i, w in enumerate(words):
+            trie.insert(w, i)
+        trie.seal()
+        for w in words + [b"ca", b"zebra"]:
+            b = TraceBuilder()
+            addr = mem.store_bytes(w)
+            assert trie.emit_lookup(b, addr, w) == trie.lookup(w)
+
+
+class TestAhoCorasick:
+    def test_matches_all_occurrences(self, mem):
+        ac = AhoCorasickTrie(mem, key_length=64)
+        for i, w in enumerate([b"he", b"she", b"his", b"hers"]):
+            ac.insert(w, i)
+        ac.seal()
+        matches = ac.match(b"ushers")
+        values = sorted(v for _, v in matches)
+        # "ushers" contains "she" ending at position 3 and "hers" at 5; one
+        # (most-specific) match is reported per position.
+        assert values == [1, 3]
+        positions = sorted(p for p, _ in matches)
+        assert positions == [3, 5]
+
+    def test_no_match(self, mem):
+        ac = AhoCorasickTrie(mem, key_length=64)
+        ac.insert(b"needle", 0)
+        ac.seal()
+        assert ac.match(b"haystackhaystack") == []
+
+    def test_emit_match_agrees(self, mem):
+        ac = AhoCorasickTrie(mem, key_length=64)
+        for i, w in enumerate([b"ab", b"bc", b"abc", b"cc"]):
+            ac.insert(w, i)
+        ac.seal()
+        text = b"abccbabcabcc"
+        b = TraceBuilder()
+        addr = mem.store_bytes(text)
+        assert ac.emit_match(b, addr, text) == ac.match(text)
+        assert len(b.trace) > len(text)  # at least one op per byte
+
+
+class TestHashOfLists:
+    def test_roundtrip_and_chaining(self, mem):
+        h = HashOfLists(mem, key_length=16, num_buckets=4)  # force chains
+        keys = keys_of(40)
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        for i, k in enumerate(keys):
+            assert h.lookup(k) == i
+        assert h.lookup(b"none".ljust(16, b"_")) is None
+
+    def test_update_in_place(self, mem):
+        h = HashOfLists(mem, key_length=16)
+        k = keys_of(1)[0]
+        h.insert(k, 1)
+        h.insert(k, 5)
+        assert h.lookup(k) == 5
+        assert len(h) == 1
+
+    def test_emit_lookup_agrees(self, mem):
+        h = HashOfLists(mem, key_length=16, num_buckets=8)
+        keys = keys_of(30)
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        for k in keys[:10] + [b"absent".ljust(16, b"_")]:
+            b = TraceBuilder()
+            assert h.emit_lookup(b, h.store_key(k), k) == h.lookup(k)
+
+
+class TestHeaders:
+    def test_header_reflects_structure(self, mem):
+        ht = CuckooHashTable(
+            mem, key_length=16, num_buckets=128, entries_per_bucket=4
+        )
+        hdr = ht.header()
+        assert hdr.structure_type.name == "HASH_TABLE"
+        assert hdr.subtype == 4
+        assert hdr.key_length == 16
+        assert hdr.size == 128
+        assert hdr.root_ptr == ht.table_addr
+        assert hdr.valid
+
+    def test_header_is_cacheline_aligned(self, mem):
+        for cls, kwargs in [
+            (LinkedList, {}),
+            (SkipList, {}),
+            (BinarySearchTree, {}),
+        ]:
+            s = cls(mem, key_length=16, **kwargs)
+            assert s.header_addr % 64 == 0

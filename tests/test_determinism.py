@@ -1,0 +1,74 @@
+"""Determinism regression tests: identical seeds must give identical cycles.
+
+Every experiment in the repository is seeded; nondeterminism would make
+EXPERIMENTS.md unreproducible and the benchmark shape-assertions flaky.
+"""
+
+from repro import small_config
+from repro.core.accelerator import QueryRequest
+from repro.datastructs import CuckooHashTable
+from repro.system import System
+from repro.workloads import make_workload, run_baseline, run_qei
+
+
+def build(seed=7):
+    system = System(small_config())
+    workload = make_workload(
+        "dpdk", system, num_flows=512, num_buckets=256, num_queries=40, seed=seed
+    )
+    return system, workload
+
+
+def test_baseline_cycles_are_reproducible():
+    runs = []
+    for _ in range(2):
+        system, workload = build()
+        runs.append(run_baseline(system, workload))
+    assert runs[0].cycles == runs[1].cycles
+    assert runs[0].instructions == runs[1].instructions
+    assert runs[0].values == runs[1].values
+
+
+def test_qei_cycles_are_reproducible():
+    runs = []
+    for _ in range(2):
+        system, workload = build()
+        runs.append(run_qei(system, workload))
+    assert runs[0].cycles == runs[1].cycles
+    assert runs[0].values == runs[1].values
+
+
+def test_different_seeds_differ():
+    system_a, workload_a = build(seed=7)
+    system_b, workload_b = build(seed=8)
+    a = run_baseline(system_a, workload_a)
+    b = run_baseline(system_b, workload_b)
+    assert a.values != b.values  # different query streams
+
+
+def test_single_query_latency_is_stable():
+    latencies = []
+    for _ in range(2):
+        system = System(small_config())
+        table = CuckooHashTable(system.mem, key_length=16, num_buckets=128)
+        keys = [(b"k%d" % i).ljust(16, b"_") for i in range(64)]
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        handle = system.accelerator.submit(
+            QueryRequest(
+                header_addr=table.header_addr,
+                key_addr=table.store_key(keys[7]),
+            ),
+            0,
+        )
+        system.accelerator.wait_for(handle)
+        latencies.append(handle.completion_cycle)
+    assert latencies[0] == latencies[1]
+
+
+def test_memory_layout_is_reproducible():
+    addresses = []
+    for _ in range(2):
+        system, workload = build()
+        addresses.append(workload.table.table_addr)
+    assert addresses[0] == addresses[1]

@@ -1,0 +1,99 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(10, lambda: order.append("b"))
+    engine.schedule(5, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 20
+
+
+def test_same_cycle_events_run_in_scheduling_order():
+    engine = Engine()
+    order = []
+    engine.schedule(7, lambda: order.append(1))
+    engine.schedule(7, lambda: order.append(2))
+    engine.schedule(7, lambda: order.append(3))
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_events_can_schedule_more_events():
+    engine = Engine()
+    seen = []
+
+    def first():
+        seen.append(engine.now)
+        engine.schedule(3, lambda: seen.append(engine.now))
+
+    engine.schedule(2, first)
+    engine.run()
+    assert seen == [2, 5]
+
+
+def test_run_until_stops_before_future_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(100, lambda: fired.append(True))
+    engine.run(until=50)
+    assert not fired
+    assert engine.now == 50
+    engine.run()
+    assert fired
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(5, lambda: fired.append(True))
+    event.cancel()
+    engine.run()
+    assert not fired
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_max_events_guard():
+    engine = Engine()
+
+    def rearm():
+        engine.schedule(1, rearm)
+
+    engine.schedule(0, rearm)
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)
+
+
+def test_advance_moves_time_even_with_empty_queue():
+    engine = Engine()
+    engine.advance(42)
+    assert engine.now == 42
+
+
+def test_step_returns_false_when_empty():
+    engine = Engine()
+    assert engine.step() is False
+    engine.schedule(1, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False

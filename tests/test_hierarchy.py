@@ -1,0 +1,121 @@
+"""Unit tests for the cache hierarchy, DRAM and NUCA slice mapping."""
+
+import pytest
+
+from repro.config import small_config
+from repro.mem import MemoryHierarchy
+from repro.mem.cache import CacheLevelName
+from repro.mem.dram import Dram
+from repro.mem.hierarchy import nuca_slice_hash
+from repro.config import DramConfig
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(small_config())
+
+
+class TestNucaHash:
+    def test_deterministic(self):
+        assert nuca_slice_hash(12345, 24) == nuca_slice_hash(12345, 24)
+
+    def test_spreads_strided_lines(self):
+        slices = [nuca_slice_hash(i * 64, 24) for i in range(1000)]
+        counts = {s: slices.count(s) for s in set(slices)}
+        assert len(counts) == 24
+        assert max(counts.values()) < 3 * (1000 / 24)
+
+
+class TestHierarchy:
+    def test_first_access_goes_to_dram(self, hierarchy):
+        res = hierarchy.access_from_core(0, 0x12340)
+        assert res.level is CacheLevelName.DRAM
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access_from_core(0, 0x12340)
+        res = hierarchy.access_from_core(0, 0x12340)
+        assert res.level is CacheLevelName.L1
+        assert res.latency == hierarchy.config.core.l1d.latency_cycles
+
+    def test_latency_ordering(self, hierarchy):
+        dram = hierarchy.access_from_core(0, 0x50000)
+        l1 = hierarchy.access_from_core(0, 0x50000)
+        hierarchy.l1[0].invalidate()
+        l2 = hierarchy.access_from_core(0, 0x50000)
+        hierarchy.l1[0].invalidate()
+        hierarchy.l2[0].invalidate()
+        llc = hierarchy.access_from_core(0, 0x50000)
+        assert l1.latency < l2.latency < llc.latency < dram.latency
+        assert l2.level is CacheLevelName.L2
+        assert llc.level is CacheLevelName.LLC
+
+    def test_other_core_misses_private_but_hits_llc(self, hierarchy):
+        hierarchy.access_from_core(0, 0x60000)
+        res = hierarchy.access_from_core(1, 0x60000)
+        assert res.level is CacheLevelName.LLC
+
+    def test_no_fill_l1_leaves_l1_clean(self, hierarchy):
+        hierarchy.access_from_core(0, 0x70000, fill_l1=False)
+        line = hierarchy.line_of(0x70000)
+        assert not hierarchy.l1[0].probe(line)
+        assert hierarchy.l2[0].probe(line)
+
+    def test_no_fill_private_avoids_pollution(self, hierarchy):
+        hierarchy.access_from_core(0, 0x80000, fill_l1=False, fill_l2=False)
+        line = hierarchy.line_of(0x80000)
+        assert not hierarchy.l1[0].probe(line)
+        assert not hierarchy.l2[0].probe(line)
+        slice_id = hierarchy.slice_of(line)
+        assert hierarchy.llc_slices[slice_id].probe(line)
+
+    def test_access_from_slice_bypasses_private_caches(self, hierarchy):
+        line = hierarchy.line_of(0x90000)
+        home = hierarchy.slice_of(line)
+        res = hierarchy.access_from_slice(home, 0x90000)
+        assert res.level is CacheLevelName.DRAM
+        res2 = hierarchy.access_from_slice(home, 0x90000)
+        assert res2.level is CacheLevelName.LLC
+        assert not hierarchy.l1[0].probe(line)
+
+    def test_slice_local_access_has_no_hops(self, hierarchy):
+        line = hierarchy.line_of(0xA0000)
+        home = hierarchy.slice_of(line)
+        hierarchy.access_from_slice(home, 0xA0000)
+        res = hierarchy.access_from_slice(home, 0xA0000)
+        assert res.noc_hops == 0
+
+    def test_flush_private(self, hierarchy):
+        hierarchy.access_from_core(0, 0xB0000)
+        hierarchy.flush_private(0)
+        res = hierarchy.access_from_core(0, 0xB0000)
+        assert res.level is CacheLevelName.LLC
+
+    def test_flush_all(self, hierarchy):
+        hierarchy.access_from_core(0, 0xC0000)
+        hierarchy.flush_all()
+        res = hierarchy.access_from_core(0, 0xC0000)
+        assert res.level is CacheLevelName.DRAM
+
+
+class TestDram:
+    def test_fixed_latency_when_idle(self):
+        dram = Dram(DramConfig())
+        assert dram.access(0, now=0) == dram.config.latency_cycles
+
+    def test_channel_queueing_adds_latency(self):
+        dram = Dram(DramConfig(channels=1))
+        first = dram.access(0, now=0)
+        second = dram.access(1, now=0)
+        assert second > first
+
+    def test_channels_interleave(self):
+        dram = Dram(DramConfig(channels=6))
+        assert dram.channel_of(0) != dram.channel_of(1)
+        latencies = [dram.access(i, now=0) for i in range(6)]
+        assert all(l == dram.config.latency_cycles for l in latencies)
+
+    def test_reset_timing(self):
+        dram = Dram(DramConfig(channels=1))
+        dram.access(0, now=0)
+        dram.reset_timing()
+        assert dram.access(1, now=0) == dram.config.latency_cycles

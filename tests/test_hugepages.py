@@ -1,0 +1,110 @@
+"""Tests for 2MB huge-page support and the fragmentation failure mode."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfMemory, SimulationError
+from repro.mem import AddressSpace, PhysicalMemory
+from repro.mem.allocator import HugePageArena
+from repro.config import TlbConfig
+from repro.mem.mmu import Mmu
+
+HUGE = 2 * 1024 * 1024
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(PhysicalMemory(64 * 1024 * 1024))
+
+
+class TestHugePageMapping:
+    def test_map_and_access(self, space):
+        space.map_huge_page(HUGE)
+        space.write(HUGE + 12345, b"huge-bytes")
+        assert space.read(HUGE + 12345, 10) == b"huge-bytes"
+        assert space.is_mapped(HUGE)
+        assert space.is_mapped(HUGE + HUGE - 1)
+
+    def test_physical_contiguity(self, space):
+        space.map_huge_page(HUGE)
+        p0 = space.translate(HUGE)
+        p_end = space.translate(HUGE + HUGE - 4096)
+        assert p_end - p0 == HUGE - 4096
+        assert p0 % 4096 == 0
+
+    def test_one_translation_entry_covers_2mb(self, space):
+        space.map_huge_page(HUGE)
+        key_a, base_a, span_a = space.translation_entry(HUGE + 100)
+        key_b, base_b, span_b = space.translation_entry(HUGE + HUGE - 1)
+        assert key_a == key_b
+        assert base_a == base_b
+        assert span_a == HUGE
+
+    def test_alignment_and_double_map_rejected(self, space):
+        with pytest.raises(SimulationError):
+            space.map_huge_page(HUGE + 4096)
+        space.map_huge_page(HUGE)
+        with pytest.raises(SimulationError):
+            space.map_huge_page(HUGE)
+
+    def test_huge_key_never_collides_with_vpn(self, space):
+        space.map_huge_page(HUGE)
+        space.map_page(0x10000)
+        huge_key = space.translation_entry(HUGE)[0]
+        small_key = space.translation_entry(0x10000)[0]
+        assert huge_key != small_key
+        assert huge_key >= AddressSpace.HUGE_KEY_BASE
+
+    def test_fragmentation_defeats_huge_pages(self):
+        """The paper's objection: a fragmented machine cannot supply
+        contiguous runs even when total free memory is plentiful."""
+        physical = PhysicalMemory(8 * 1024 * 1024)  # 2048 frames
+        # Fragment: take every other frame.
+        taken = [physical.allocate_frame() for _ in range(physical.num_frames)]
+        for frame in taken[::2]:
+            physical.free_frame(frame)
+        space = AddressSpace(physical)
+        assert physical.frames_in_use == physical.num_frames // 2
+        with pytest.raises(OutOfMemory):
+            space.map_huge_page(HUGE)  # needs 512 contiguous frames
+
+
+class TestHugeTlbBehaviour:
+    def test_single_tlb_entry_serves_whole_huge_page(self, space):
+        space.map_huge_page(HUGE)
+        mmu = Mmu(space, [TlbConfig(16, 4, 1)])
+        first = mmu.translate(HUGE)  # page walk
+        assert first.tlb_hit_level is None
+        # A translation 1MB away still hits the same entry.
+        far = mmu.translate(HUGE + 1024 * 1024)
+        assert far.tlb_hit_level == 0
+        assert far.paddr == first.paddr + 1024 * 1024
+
+    def test_small_pages_still_miss_per_page(self, space):
+        for i in range(1, 4):
+            space.map_page(i * 4096)
+        mmu = Mmu(space, [TlbConfig(16, 4, 1)])
+        mmu.translate(1 * 4096)
+        miss = mmu.translate(2 * 4096)
+        assert miss.tlb_hit_level is None  # different 4KB page
+
+
+class TestHugePageArena:
+    def test_allocations_usable(self, space):
+        arena = HugePageArena(space, HUGE * 4, huge_pages=2)
+        addrs = [arena.allocate(100_000) for _ in range(10)]
+        for i, addr in enumerate(addrs):
+            space.write(addr, bytes([i]) * 100)
+        for i, addr in enumerate(addrs):
+            assert space.read(addr, 100) == bytes([i]) * 100
+
+    def test_capacity_enforced(self, space):
+        arena = HugePageArena(space, HUGE * 8, huge_pages=1)
+        arena.allocate(HUGE - 64)
+        with pytest.raises(AllocationError):
+            arena.allocate(1024)
+
+    def test_bad_geometry_rejected(self, space):
+        with pytest.raises(AllocationError):
+            HugePageArena(space, 4096, huge_pages=1)
+        with pytest.raises(AllocationError):
+            HugePageArena(space, HUGE, huge_pages=0)

@@ -1,0 +1,122 @@
+"""Tests for the longest-prefix-match trie (routing-table lookups)."""
+
+import pytest
+
+from repro import small_config
+from repro.core.accelerator import QueryRequest
+from repro.cpu import TraceBuilder
+from repro.datastructs import LpmTrie, ProcessMemory
+from repro.errors import DataStructureError
+from repro.system import System
+
+
+def ip(a, b, c, d):
+    return bytes([a, b, c, d])
+
+
+@pytest.fixture
+def fib():
+    mem = ProcessMemory(physical_bytes=64 * 1024 * 1024)
+    trie = LpmTrie(mem, key_length=4)
+    # routes: value = next-hop id
+    trie.insert_prefix(bytes([10]), 1)               # 10.0.0.0/8
+    trie.insert_prefix(bytes([10, 1]), 2)            # 10.1.0.0/16
+    trie.insert_prefix(bytes([10, 1, 2]), 3)         # 10.1.2.0/24
+    trie.insert_prefix(bytes([192, 168]), 4)         # 192.168.0.0/16
+    trie.insert_prefix(ip(192, 168, 0, 1), 5)        # host route
+    trie.seal()
+    return trie
+
+
+class TestLpmFunctional:
+    def test_longest_prefix_wins(self, fib):
+        assert fib.lookup_lpm(ip(10, 1, 2, 3)) == 3
+        assert fib.lookup_lpm(ip(10, 1, 9, 9)) == 2
+        assert fib.lookup_lpm(ip(10, 9, 9, 9)) == 1
+
+    def test_host_route_beats_prefix(self, fib):
+        assert fib.lookup_lpm(ip(192, 168, 0, 1)) == 5
+        assert fib.lookup_lpm(ip(192, 168, 0, 2)) == 4
+
+    def test_no_route(self, fib):
+        assert fib.lookup_lpm(ip(8, 8, 8, 8)) is None
+
+    def test_default_route_at_short_prefix(self, fib):
+        assert fib.lookup_lpm(ip(192, 168, 77, 1)) == 4
+
+    def test_prefix_length_validated(self):
+        mem = ProcessMemory(physical_bytes=16 * 1024 * 1024)
+        trie = LpmTrie(mem, key_length=4)
+        with pytest.raises(DataStructureError):
+            trie.insert_prefix(b"", 1)
+        with pytest.raises(DataStructureError):
+            trie.insert_prefix(bytes(5), 1)
+
+    def test_header_subtype_is_lpm(self, fib):
+        assert fib.header().subtype == 2
+
+
+class TestLpmTrace:
+    def test_emit_agrees_with_reference(self, fib):
+        for addr in [
+            ip(10, 1, 2, 3),
+            ip(10, 1, 9, 9),
+            ip(192, 168, 0, 1),
+            ip(8, 8, 8, 8),
+        ]:
+            builder = TraceBuilder()
+            vaddr = fib.mem.store_bytes(addr)
+            assert fib.emit_lookup_lpm(builder, vaddr, addr) == fib.lookup_lpm(addr)
+            assert len(builder.trace) > 3
+
+
+class TestLpmCfa:
+    def test_accelerator_agrees_with_reference(self):
+        system = System(small_config())
+        trie = LpmTrie(system.mem, key_length=4)
+        trie.insert_prefix(bytes([10]), 1)
+        trie.insert_prefix(bytes([10, 1]), 2)
+        trie.insert_prefix(bytes([10, 1, 2]), 3)
+        trie.insert_prefix(bytes([172, 16]), 7)
+        trie.seal()
+        for addr in [
+            ip(10, 1, 2, 200),
+            ip(10, 1, 50, 1),
+            ip(10, 200, 0, 1),
+            ip(172, 16, 31, 9),
+            ip(1, 2, 3, 4),
+        ]:
+            handle = system.accelerator.submit(
+                QueryRequest(
+                    header_addr=trie.header_addr,
+                    key_addr=system.mem.store_bytes(addr),
+                ),
+                system.engine.now,
+            )
+            system.accelerator.wait_for(handle)
+            assert handle.value == trie.lookup_lpm(addr), addr
+
+    def test_many_routes_scale(self):
+        system = System(small_config())
+        trie = LpmTrie(system.mem, key_length=4)
+        import random
+
+        rng = random.Random(4)
+        routes = {}
+        for i in range(300):
+            length = rng.randint(1, 3)
+            prefix = bytes(rng.randint(0, 255) for _ in range(length))
+            routes[prefix] = i
+            trie.insert_prefix(prefix, i)
+        trie.seal()
+        for _ in range(40):
+            addr = bytes(rng.randint(0, 255) for _ in range(4))
+            handle = system.accelerator.submit(
+                QueryRequest(
+                    header_addr=trie.header_addr,
+                    key_addr=system.mem.store_bytes(addr),
+                ),
+                system.engine.now,
+            )
+            system.accelerator.wait_for(handle)
+            assert handle.value == trie.lookup_lpm(addr)

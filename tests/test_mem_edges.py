@@ -1,0 +1,56 @@
+"""Remaining memory-substrate edge cases (contiguous frames, heap holes)."""
+
+import pytest
+
+from repro.errors import OutOfMemory, SimulationError
+from repro.mem import AddressSpace, PageScatterAllocator, PhysicalMemory
+
+
+class TestContiguousFrames:
+    def test_contiguous_run_is_really_contiguous(self):
+        physical = PhysicalMemory(64 * 4096)
+        base = physical.allocate_contiguous(16)
+        # All 16 frames belong to us now: singles can't collide.
+        singles = {physical.allocate_frame() for _ in range(10)}
+        assert not (set(range(base, base + 16)) & singles)
+
+    def test_contiguous_rejects_bad_count(self):
+        physical = PhysicalMemory(16 * 4096)
+        with pytest.raises(SimulationError):
+            physical.allocate_contiguous(0)
+
+    def test_contiguous_exhaustion(self):
+        physical = PhysicalMemory(8 * 4096)
+        with pytest.raises(OutOfMemory):
+            physical.allocate_contiguous(9)
+
+    def test_free_then_contiguous_reuses_run(self):
+        physical = PhysicalMemory(32 * 4096)
+        base = physical.allocate_contiguous(8)
+        for frame in range(base, base + 8):
+            physical.free_frame(frame)
+        again = physical.allocate_contiguous(8)
+        assert 0 <= again < physical.num_frames
+
+
+class TestScatterHoles:
+    def test_release_holes_returns_frames(self):
+        space = AddressSpace(PhysicalMemory(256 * 4096))
+        heap = PageScatterAllocator(
+            space, 0x100000, 64 * 4096, scatter_frames=4, chunk_pages=2
+        )
+        heap.allocate(4096)
+        in_use_before = space.physical.frames_in_use
+        heap.release_holes()
+        assert space.physical.frames_in_use < in_use_before
+
+    def test_scatter_zero_behaves_contiguously(self):
+        space = AddressSpace(PhysicalMemory(256 * 4096))
+        heap = PageScatterAllocator(
+            space, 0x100000, 64 * 4096, scatter_frames=0, chunk_pages=4
+        )
+        a = heap.allocate(4096)
+        b = heap.allocate(4096)
+        pa = space.translate(a)
+        pb = space.translate(b)
+        assert pb - pa == 4096  # consecutive frames without scattering

@@ -1,0 +1,116 @@
+"""Unit tests for the area/power models against Tab. III."""
+
+import pytest
+
+from repro.power import (
+    DynamicEnergyModel,
+    qei_configuration,
+    tab3_configurations,
+)
+from repro.power.cacti import logic_block, qst_macro, tlb_macro
+
+#: Paper Tab. III values.
+PAPER_TAB3 = {
+    "QEI-10": (0.1752, 10.8984),
+    "QEI-10+TLB": (0.5730, 30.9049),
+    "QEI-240": (1.0901, 20.8764),
+}
+
+
+class TestTab3Calibration:
+    def test_all_configurations_match_paper(self):
+        for config in tab3_configurations():
+            area, power = PAPER_TAB3[config.name]
+            assert config.area_mm2 == pytest.approx(area, rel=0.02), config.name
+            assert config.static_power_mw == pytest.approx(power, rel=0.02), (
+                config.name
+            )
+
+    def test_tlb_dominates_qei10_area(self):
+        """The paper's practicality argument: the extra TLB costs more than
+        the entire rest of the accelerator (Sec. VII-D)."""
+        plain, with_tlb, _ = tab3_configurations()
+        tlb_area = with_tlb.area_mm2 - plain.area_mm2
+        assert tlb_area > plain.area_mm2
+
+    def test_device_qst_scales_sublinearly(self):
+        a10 = qst_macro(10).area_mm2
+        a240 = qst_macro(240).area_mm2
+        assert a240 / a10 < 24
+        assert a240 > a10
+
+    def test_area_is_negligible_vs_core_tile(self):
+        """~18mm2 core tile (Sec. VII-D): QEI-10 is under 2% of it."""
+        plain = tab3_configurations()[0]
+        assert plain.area_mm2 < 0.02 * 18.0
+
+    def test_breakdown_renders(self):
+        text = tab3_configurations()[0].breakdown()
+        assert "qst[10]" in text
+        assert "total" in text
+
+
+class TestPrimitives:
+    def test_tlb_macro_linear(self):
+        assert tlb_macro(2048).area_mm2 == pytest.approx(
+            2 * tlb_macro(1024).area_mm2
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            tlb_macro(0)
+        with pytest.raises(ValueError):
+            qst_macro(-1)
+        with pytest.raises(ValueError):
+            logic_block("nonexistent")
+        with pytest.raises(ValueError):
+            logic_block("alu", 0)
+
+    def test_custom_configuration(self):
+        config = qei_configuration("ablate", qst_entries=20, comparators=4)
+        base = qei_configuration("base", qst_entries=10, comparators=4)
+        assert config.area_mm2 > base.area_mm2
+
+
+class _FakeResult:
+    def __init__(self, instructions, mispredicts=0, levels=None, cycles=1000):
+        self.instructions = instructions
+        self.branch_mispredicts = mispredicts
+        self.level_breakdown = levels or {}
+        self.cycles = cycles
+
+
+class TestDynamicEnergy:
+    def test_baseline_energy_counts_memory_levels(self):
+        model = DynamicEnergyModel()
+        cheap = {"core0.l1d.hits": 50}
+        costly = {"dram.accesses": 50}
+        base = _FakeResult(100)
+        assert model.baseline_query_energy_pj(
+            base, costly, 10
+        ) > model.baseline_query_energy_pj(base, cheap, 10)
+
+    def test_qei_beats_baseline_energy(self):
+        model = DynamicEnergyModel()
+        baseline = _FakeResult(900, mispredicts=40)
+        baseline_delta = {"core0.l1d.hits": 300, "core0.l2.hits": 80}
+        qei_core = _FakeResult(60)
+        delta = {
+            "core0.l1d.hits": 10,
+            "core0.l2.hits": 15,
+            "llc.slice0.hits": 12,
+            "qei.cee.steps": 40,
+            "qei.core-integrated.translations": 25,
+            "qei.uops.hash": 1,
+            "qei.uops.alu": 3,
+            "cha0.comparators.busy_cycles": 20,
+            "noc.messages": 30,
+        }
+        ratio = model.relative_dynamic_power(
+            baseline, baseline_delta, 1, qei_core, delta, 1
+        )
+        assert ratio < 0.40  # the paper's >60% reduction
+
+    def test_zero_queries_is_safe(self):
+        model = DynamicEnergyModel()
+        assert model.baseline_query_energy_pj(_FakeResult(10), {}, 0) > 0

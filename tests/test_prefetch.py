@@ -1,0 +1,58 @@
+"""Tests for the optional L2 next-line prefetcher."""
+
+import pytest
+
+from repro.config import small_config
+from repro.mem import MemoryHierarchy
+from repro.mem.cache import CacheLevelName
+
+
+@pytest.fixture
+def hierarchy():
+    h = MemoryHierarchy(small_config())
+    h.next_line_prefetch = True
+    return h
+
+
+def test_prefetch_is_off_by_default():
+    h = MemoryHierarchy(small_config())
+    h.access_from_core(0, 0x10000)
+    line = h.line_of(0x10000)
+    assert not h.l2[0].probe(line + 1)
+    assert h.stats.counter("prefetches").value == 0
+
+
+def test_l2_miss_installs_next_line(hierarchy):
+    hierarchy.access_from_core(0, 0x20000)
+    line = hierarchy.line_of(0x20000)
+    assert hierarchy.l2[0].probe(line + 1)
+    assert hierarchy.stats.counter("prefetches").value == 1
+
+
+def test_streaming_scan_hits_after_warmup(hierarchy):
+    base = 0x30000
+    hierarchy.access_from_core(0, base)  # miss + prefetch of line+1
+    second = hierarchy.access_from_core(0, base + 64)
+    assert second.level in (CacheLevelName.L1, CacheLevelName.L2)
+
+
+def test_prefetch_skips_present_lines(hierarchy):
+    base = 0x40000
+    hierarchy.access_from_core(0, base)
+    count = hierarchy.stats.counter("prefetches").value
+    hierarchy.l1[0].invalidate()
+    hierarchy.l2[0].invalidate()
+    hierarchy.access_from_core(0, base)  # LLC hit: no L2 miss path
+    assert hierarchy.stats.counter("prefetches").value == count + 1
+
+
+def test_prefetch_not_triggered_when_l2_fills_disabled(hierarchy):
+    hierarchy.access_from_core(0, 0x50000, fill_l1=False, fill_l2=False)
+    line = hierarchy.line_of(0x50000)
+    assert not hierarchy.l2[0].probe(line + 1)
+
+
+def test_prefetched_line_lands_in_llc_too(hierarchy):
+    hierarchy.access_from_core(0, 0x60000)
+    line = hierarchy.line_of(0x60000) + 1
+    assert hierarchy.llc_slices[hierarchy.slice_of(line)].probe(line)

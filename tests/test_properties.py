@@ -1,0 +1,259 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These target the load-bearing correctness properties:
+
+* every data structure agrees across its three query paths (pure lookup,
+  trace-emitting software baseline, accelerator CFA);
+* serialization invariants (header roundtrip, allocator non-overlap);
+* Aho-Corasick agrees with a naive find-all reference;
+* cache/TLB structural invariants under arbitrary access streams.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import small_config
+from repro.config import CacheConfig, TlbConfig
+from repro.core.accelerator import QueryRequest
+from repro.core.header import DataStructureHeader
+from repro.datastructs import (
+    AhoCorasickTrie,
+    BinarySearchTree,
+    CuckooHashTable,
+    LinkedList,
+    ProcessMemory,
+    SkipList,
+)
+from repro.cpu.trace import TraceBuilder
+from repro.mem import Cache, Tlb
+from repro.system import System
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+keys_strategy = st.lists(
+    st.binary(min_size=8, max_size=8), min_size=1, max_size=40, unique=True
+)
+
+
+def fresh_mem():
+    return ProcessMemory(physical_bytes=64 * 1024 * 1024)
+
+
+# --------------------------------------------------------------------- #
+# Header codec
+# --------------------------------------------------------------------- #
+
+
+@given(
+    root=st.integers(0, 2**64 - 1),
+    type_code=st.integers(0, 255),
+    subtype=st.integers(0, 255),
+    key_length=st.integers(0, 2**16 - 1),
+    flags=st.integers(0, 2**32 - 1),
+    size=st.integers(0, 2**64 - 1),
+    aux=st.integers(0, 2**64 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_header_encode_decode_roundtrip(
+    root, type_code, subtype, key_length, flags, size, aux
+):
+    header = DataStructureHeader(root, type_code, subtype, key_length, flags, size, aux)
+    assert DataStructureHeader.decode(header.encode()) == header
+
+
+# --------------------------------------------------------------------- #
+# Structure agreement: lookup == emit_lookup == CFA, for arbitrary keys
+# --------------------------------------------------------------------- #
+
+
+@given(keys=keys_strategy, probe=st.binary(min_size=8, max_size=8))
+@SLOW
+def test_linked_list_three_way_agreement(keys, probe):
+    mem = fresh_mem()
+    structure = LinkedList(mem, key_length=8)
+    for i, key in enumerate(keys):
+        structure.insert(key, i + 1)
+    _assert_agreement(structure, keys, probe)
+
+
+@given(keys=keys_strategy, probe=st.binary(min_size=8, max_size=8))
+@SLOW
+def test_bst_three_way_agreement(keys, probe):
+    mem = fresh_mem()
+    structure = BinarySearchTree(mem, key_length=8)
+    for i, key in enumerate(keys):
+        structure.insert(key, i + 1)
+    _assert_agreement(structure, keys, probe)
+
+
+@given(keys=keys_strategy, probe=st.binary(min_size=8, max_size=8))
+@SLOW
+def test_skip_list_three_way_agreement(keys, probe):
+    mem = fresh_mem()
+    structure = SkipList(mem, key_length=8)
+    for i, key in enumerate(keys):
+        structure.insert(key, i + 1)
+    _assert_agreement(structure, keys, probe)
+
+
+@given(keys=keys_strategy, probe=st.binary(min_size=8, max_size=8))
+@SLOW
+def test_hash_table_three_way_agreement(keys, probe):
+    mem = fresh_mem()
+    structure = CuckooHashTable(mem, key_length=8, num_buckets=64)
+    for i, key in enumerate(keys):
+        structure.insert(key, i + 1)
+    _assert_agreement(structure, keys, probe)
+
+
+def _assert_agreement(structure, keys, probe):
+    """lookup(), emit_lookup() and the accelerator CFA must agree."""
+    system = System(small_config())
+    system.mem = structure.mem  # query the same simulated memory
+    system.space = structure.mem.space
+    accelerator = _accelerator_for(system, structure.mem.space)
+    for key in list(keys[:5]) + [probe]:
+        reference = structure.lookup(key)
+        builder = TraceBuilder()
+        key_addr = structure.store_key(key)
+        assert structure.emit_lookup(builder, key_addr, key) == reference
+        handle = accelerator.submit(
+            QueryRequest(header_addr=structure.header_addr, key_addr=key_addr),
+            accelerator.engine.now,
+        )
+        accelerator.wait_for(handle)
+        assert handle.value == reference
+
+
+def _accelerator_for(system, space):
+    from repro.core.accelerator import QeiAccelerator
+    from repro.core.integration import build_integration
+    from repro.core.programs import default_firmware
+
+    integration = build_integration(
+        "core-integrated",
+        system.config,
+        system.hierarchy,
+        system.noc,
+        space,
+        system.core_mmus,
+    )
+    # Core MMUs must translate the structure's space.
+    for mmu in system.core_mmus:
+        mmu.space = space
+    return QeiAccelerator(
+        system.engine,
+        default_firmware(),
+        integration,
+        space,
+        qst_entries=10,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Skip list ordering invariant
+# --------------------------------------------------------------------- #
+
+
+@given(keys=keys_strategy)
+@SLOW
+def test_skip_list_iterates_sorted(keys):
+    mem = fresh_mem()
+    sl = SkipList(mem, key_length=8)
+    for i, key in enumerate(keys):
+        sl.insert(key, i)
+    stored = [k for k, _ in sl.items()]
+    assert stored == sorted(keys)
+
+
+# --------------------------------------------------------------------- #
+# Aho-Corasick vs naive multi-pattern reference
+# --------------------------------------------------------------------- #
+
+
+@given(
+    words=st.lists(
+        st.binary(min_size=1, max_size=4), min_size=1, max_size=8, unique=True
+    ),
+    text=st.binary(min_size=0, max_size=60),
+)
+@SLOW
+def test_aho_corasick_matches_naive_positions(words, text):
+    mem = fresh_mem()
+    ac = AhoCorasickTrie(mem, key_length=64)
+    for i, word in enumerate(words):
+        ac.insert(word, i)
+    ac.seal()
+    got_positions = {pos for pos, _ in ac.match(text)}
+    expected_positions = {
+        start + len(word) - 1
+        for word in words
+        for start in range(len(text) - len(word) + 1)
+        if text[start : start + len(word)] == word
+    }
+    # One (most-specific) match is reported per position; the *positions*
+    # must match the naive reference exactly.
+    assert got_positions == expected_positions
+
+
+# --------------------------------------------------------------------- #
+# Cache and TLB invariants
+# --------------------------------------------------------------------- #
+
+
+@given(
+    accesses=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(accesses):
+    cache = Cache(CacheConfig(4096, 4, 1))  # 64 lines capacity
+    for line in accesses:
+        if not cache.access(line):
+            cache.fill(line)
+    assert cache.occupancy <= 64
+    # Everything recently filled within associativity must be present.
+    assert cache.hits + cache.misses == len(accesses)
+
+
+@given(accesses=st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_tlb_lookup_after_insert_hits(accesses):
+    tlb = Tlb(TlbConfig(entries=16, associativity=4, latency_cycles=1))
+    for vpn in accesses:
+        tlb.insert(vpn, vpn + 7)
+        assert tlb.lookup(vpn) == vpn + 7  # most-recent insert always hits
+    assert tlb.occupancy <= 16
+
+
+# --------------------------------------------------------------------- #
+# Allocator non-overlap
+# --------------------------------------------------------------------- #
+
+
+@given(
+    sizes=st.lists(st.integers(1, 600), min_size=1, max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_allocations_never_overlap(sizes):
+    mem = fresh_mem()
+    spans = []
+    for size in sizes:
+        addr = mem.alloc(size)
+        spans.append((addr, addr + size))
+    spans.sort()
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b
+
+
+@given(sizes=st.lists(st.integers(1, 300), min_size=1, max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_allocations_are_writable_and_isolated(sizes):
+    mem = fresh_mem()
+    addrs = [mem.alloc(size) for size in sizes]
+    for i, (addr, size) in enumerate(zip(addrs, sizes)):
+        mem.space.write(addr, bytes([i % 251]) * size)
+    for i, (addr, size) in enumerate(zip(addrs, sizes)):
+        assert mem.space.read(addr, size) == bytes([i % 251]) * size

@@ -1,0 +1,81 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+
+from repro.sim import StatsRegistry
+from repro.sim.stats import Histogram
+
+
+def test_counter_accumulates_and_resets():
+    reg = StatsRegistry()
+    c = reg.counter("hits")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    c.reset()
+    assert c.value == 0
+
+
+def test_counter_identity_by_name():
+    reg = StatsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.counter("x") is not reg.counter("y")
+
+
+def test_scoped_registry_shares_storage():
+    reg = StatsRegistry()
+    view = reg.scoped("l2")
+    view.counter("misses").add(3)
+    assert reg.snapshot()["l2.misses"] == 3
+
+
+def test_nested_scopes_compose_prefixes():
+    reg = StatsRegistry()
+    inner = reg.scoped("core0").scoped("l1d")
+    inner.counter("hits").add()
+    assert "core0.l1d.hits" in reg.snapshot()
+
+
+def test_histogram_statistics():
+    h = Histogram("lat")
+    for v in [10, 20, 30, 40]:
+        h.record(v)
+    assert h.count == 4
+    assert h.mean == 25
+    assert h.minimum == 10
+    assert h.maximum == 40
+    assert h.percentile(50) == 20
+    assert h.percentile(100) == 40
+
+
+def test_histogram_percentile_validation():
+    h = Histogram("lat")
+    h.record(1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_empty_histogram_is_safe():
+    h = Histogram("lat")
+    assert h.mean == 0.0
+    assert h.percentile(99) == 0.0
+
+
+def test_diff_reports_deltas():
+    reg = StatsRegistry()
+    reg.counter("a").add(2)
+    before = reg.snapshot()
+    reg.counter("a").add(5)
+    reg.counter("b").add(1)
+    delta = reg.diff(before)
+    assert delta["a"] == 5
+    assert delta["b"] == 1
+
+
+def test_report_filters_by_prefix():
+    reg = StatsRegistry()
+    reg.counter("l1.hits").add(1)
+    reg.counter("l2.hits").add(2)
+    text = reg.report(only=["l1"])
+    assert "l1.hits" in text
+    assert "l2.hits" not in text

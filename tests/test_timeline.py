@@ -1,0 +1,74 @@
+"""Tests for the observability helpers (timeline, latency, jitter)."""
+
+import pytest
+
+from repro import small_config
+from repro.analysis.timeline import (
+    jitter_report,
+    latency_summary,
+    occupancy_timeline,
+    per_query_table,
+)
+from repro.core.accelerator import QueryRequest
+from repro.datastructs import CuckooHashTable
+from repro.system import System
+
+
+@pytest.fixture
+def run():
+    system = System(small_config())
+    table = CuckooHashTable(system.mem, key_length=16, num_buckets=128)
+    keys = [(b"k%d" % i).ljust(16, b"_") for i in range(40)]
+    for i, key in enumerate(keys):
+        table.insert(key, i)
+    handles = []
+    for key in keys[:20]:
+        handles.append(
+            system.accelerator.submit(
+                QueryRequest(
+                    header_addr=table.header_addr,
+                    key_addr=table.store_key(key),
+                ),
+                system.engine.now,
+            )
+        )
+    for handle in handles:
+        system.accelerator.wait_for(handle)
+    return system, handles
+
+
+def test_latency_summary_fields(run):
+    system, _ = run
+    summary = latency_summary(system.accelerator)
+    assert summary.count == 20
+    assert 0 < summary.p50 <= summary.p90 <= summary.p99 <= summary.maximum
+    assert "queries=20" in summary.format()
+
+
+def test_occupancy_timeline_renders(run):
+    _, handles = run
+    line = occupancy_timeline(handles, capacity=10)
+    assert line.startswith("[")
+    assert "peak=" in line and "/10" in line
+
+
+def test_occupancy_timeline_empty():
+    assert occupancy_timeline([]) == "(no completed queries)"
+
+
+def test_per_query_table_limits_rows(run):
+    _, handles = run
+    table = per_query_table(handles, limit=5)
+    assert "more)" in table
+    assert table.count("\n") == 6  # header + 5 rows + trailer
+
+
+def test_jitter_report_values(run):
+    _, handles = run
+    mean, jitter = jitter_report(handles)
+    assert mean > 0
+    assert jitter >= 1.0
+
+
+def test_jitter_report_empty():
+    assert jitter_report([]) == (0.0, 0.0)

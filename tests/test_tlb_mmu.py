@@ -1,0 +1,110 @@
+"""Unit tests for the TLB and MMU timing models."""
+
+import pytest
+
+from repro.config import TlbConfig
+from repro.errors import SegmentationFault
+from repro.mem import AddressSpace, Mmu, PhysicalMemory, Tlb
+from repro.mem.mmu import PAGE_WALK_CYCLES
+
+
+@pytest.fixture
+def space():
+    s = AddressSpace(PhysicalMemory(8 * 1024 * 1024))
+    for i in range(1, 64):
+        s.map_page(i * 4096)
+    return s
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbConfig(entries=8, associativity=2, latency_cycles=1))
+        assert tlb.lookup(5) is None
+        tlb.insert(5, 99)
+        assert tlb.lookup(5) == 99
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        tlb = Tlb(TlbConfig(entries=4, associativity=2, latency_cycles=1))
+        # Set index = vpn % 2; VPNs 0, 2, 4 all land in set 0.
+        tlb.insert(0, 10)
+        tlb.insert(2, 12)
+        tlb.lookup(0)       # make VPN 0 most-recent
+        tlb.insert(4, 14)   # evicts VPN 2
+        assert tlb.lookup(0) == 10
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(4) == 14
+
+    def test_invalidate_single_and_all(self):
+        tlb = Tlb(TlbConfig(entries=8, associativity=2, latency_cycles=1))
+        tlb.insert(1, 11)
+        tlb.insert(2, 22)
+        tlb.invalidate(1)
+        assert tlb.lookup(1) is None
+        assert tlb.lookup(2) == 22
+        tlb.invalidate()
+        assert tlb.lookup(2) is None
+
+    def test_reinsert_updates_mapping(self):
+        tlb = Tlb(TlbConfig(entries=8, associativity=2, latency_cycles=1))
+        tlb.insert(3, 30)
+        tlb.insert(3, 31)
+        assert tlb.lookup(3) == 31
+        assert tlb.occupancy == 1
+
+
+class TestMmu:
+    def make_mmu(self, space):
+        return Mmu(
+            space,
+            [TlbConfig(16, 4, 1), TlbConfig(64, 4, 7)],
+            name="mmu",
+        )
+
+    def test_first_access_walks_page_table(self, space):
+        mmu = self.make_mmu(space)
+        t = mmu.translate(0x1000)
+        assert t.tlb_hit_level is None
+        assert t.cycles == 1 + 7 + PAGE_WALK_CYCLES
+        assert t.paddr == space.translate(0x1000)
+
+    def test_second_access_hits_l1_tlb(self, space):
+        mmu = self.make_mmu(space)
+        mmu.translate(0x1000)
+        t = mmu.translate(0x1FFF)
+        assert t.tlb_hit_level == 0
+        assert t.cycles == 1
+        assert t.paddr == space.translate(0x1FFF)
+
+    def test_l2_tlb_hit_after_l1_eviction(self, space):
+        mmu = self.make_mmu(space)
+        mmu.translate(0x1000)
+        # Touch enough pages mapping to the same L1 set to evict VPN 1 from
+        # the 16-entry L1 TLB but keep it in the 64-entry L2 TLB.
+        for i in range(2, 40):
+            mmu.translate(i * 4096)
+        t = mmu.translate(0x1000)
+        assert t.tlb_hit_level == 1
+        assert t.cycles == 1 + 7
+
+    def test_flush_forces_full_walk(self, space):
+        mmu = self.make_mmu(space)
+        mmu.translate(0x1000)
+        mmu.flush()
+        t = mmu.translate(0x1000)
+        assert t.tlb_hit_level is None
+
+    def test_fault_propagates_and_does_not_fill_tlb(self, space):
+        mmu = self.make_mmu(space)
+        with pytest.raises(SegmentationFault):
+            mmu.translate(0xDEAD0000)
+        with pytest.raises(SegmentationFault):
+            mmu.translate(0xDEAD0000)
+
+    def test_page_walk_counter(self, space):
+        mmu = self.make_mmu(space)
+        mmu.translate(0x1000)
+        mmu.translate(0x1008)
+        mmu.translate(0x2000)
+        assert mmu.stats.counter("page_walks").value == 2

@@ -1,0 +1,125 @@
+"""Unit tests for the workload base plumbing (traces, verification, knobs)."""
+
+import pytest
+
+from repro import small_config
+from repro.cpu.isa import OpKind
+from repro.errors import WorkloadError
+from repro.system import System
+from repro.workloads import make_workload
+from repro.workloads.base import run_baseline, run_qei
+from repro.workloads.snort import SnortWorkload, make_dictionary, make_payload
+
+
+@pytest.fixture
+def built():
+    system = System(small_config())
+    workload = make_workload(
+        "dpdk", system, num_flows=256, num_buckets=128, num_queries=24
+    )
+    return system, workload
+
+
+class TestTraceShapes:
+    def test_baseline_trace_contains_no_query_ops(self, built):
+        _, workload = built
+        trace, _ = workload.baseline_trace()
+        kinds = {op.kind for op in trace}
+        assert OpKind.QUERY_B not in kinds
+        assert OpKind.QUERY_NB not in kinds
+
+    def test_qei_trace_has_one_query_per_request(self, built):
+        _, workload = built
+        trace = workload.qei_trace()
+        queries = sum(1 for op in trace if op.kind is OpKind.QUERY_B)
+        assert queries == len(workload.queries)
+
+    def test_nb_trace_polls_cover_every_query(self, built):
+        _, workload = built
+        trace, batches = workload.qei_nb_trace(poll_every=5)
+        nb_ops = sum(1 for op in trace if op.kind is OpKind.QUERY_NB)
+        waits = sum(1 for op in trace if op.kind is OpKind.WAIT_RESULT)
+        assert nb_ops == len(workload.queries)
+        assert waits == len(batches) == (len(workload.queries) + 4) // 5
+
+    def test_app_trace_is_heavier_than_roi(self, built):
+        _, workload = built
+        roi, _ = workload.baseline_trace()
+        app, _ = workload.app_trace_baseline()
+        assert len(app) > len(roi)
+
+    def test_buffer_ring_addresses_repeat_after_ring_wraps(self, built):
+        _, workload = built
+        trace, _ = workload.baseline_trace()
+        buffer_loads = [
+            op.vaddr
+            for op in trace
+            if op.kind is OpKind.LOAD
+            and workload._buffer_base
+            <= (op.vaddr or 0)
+            < workload._buffer_base
+            + workload.buffer_ring_requests * workload.request_buffer_lines * 64
+        ]
+        assert buffer_loads  # per-request buffer traffic exists
+
+
+class TestVerification:
+    def test_verify_detects_wrong_value(self, built):
+        system, workload = built
+        port = system.query_port(0)
+        trace = workload.qei_trace()
+        system.run_trace(trace, port=port)
+        port.handles[3].value = 0xBAD
+        with pytest.raises(WorkloadError):
+            workload.verify_port(port)
+
+    def test_verify_detects_count_mismatch(self, built):
+        system, workload = built
+        port = system.query_port(0)
+        with pytest.raises(WorkloadError):
+            workload.verify_port(port)  # no queries ran
+
+    def test_unbuilt_workload_rejects_traces(self):
+        system = System(small_config())
+        workload = SnortWorkload(system)
+        with pytest.raises(WorkloadError):
+            workload.baseline_trace()
+
+
+class TestRunners:
+    def test_run_baseline_and_qei_report_queries(self, built):
+        system, workload = built
+        base = run_baseline(system, workload, warm=False)
+        assert base.queries == 24
+        assert base.cycles_per_query > 0
+        system2 = System(small_config())
+        workload2 = make_workload(
+            "dpdk", system2, num_flows=256, num_buckets=128, num_queries=24
+        )
+        qei = run_qei(system2, workload2, warm=False)
+        assert qei.queries == 24
+        assert len(qei.values) == 24
+
+
+class TestSnortHelpers:
+    def test_dictionary_is_distinct_lowercase(self):
+        words = make_dictionary(50, seed=1)
+        assert len(set(words)) == 50
+        assert all(4 <= len(w) <= 12 for w in words)
+        assert all(all(97 <= b <= 122 for b in w) for w in words)
+
+    def test_payload_has_exact_length_and_plants_keywords(self):
+        import random
+
+        words = make_dictionary(20, seed=2)
+        rng = random.Random(3)
+        payload = make_payload(256, words, hit_density=0.5, rng=rng)
+        assert len(payload) == 256
+        assert any(w in payload for w in words)
+
+    def test_zero_density_payload_is_pure_noise(self):
+        import random
+
+        rng = random.Random(4)
+        payload = make_payload(128, [], hit_density=0.0, rng=rng)
+        assert len(payload) == 128

@@ -1,0 +1,54 @@
+"""Non-blocking query coverage across all five workloads."""
+
+import pytest
+
+from repro import small_config
+from repro.core.accelerator import QueryStatus
+from repro.system import System
+from repro.workloads import make_workload, run_qei
+
+SMALL_PARAMS = {
+    "dpdk": dict(num_flows=256, num_buckets=128, num_queries=32),
+    "rocksdb": dict(num_items=150, num_queries=12),
+    "jvm": dict(num_objects=300, num_queries=24),
+    "flann": dict(num_tables=3, num_items=150, num_points=4, num_buckets=128),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+def test_non_blocking_results_match_software(name):
+    system = System(small_config())
+    workload = make_workload(name, system, **SMALL_PARAMS[name])
+    run_qei(system, workload, non_blocking=True, poll_every=8)  # verify=True
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+def test_non_blocking_writes_every_result_slot(name):
+    system = System(small_config())
+    workload = make_workload(name, system, **SMALL_PARAMS[name])
+    trace, batches = workload.qei_nb_trace(poll_every=8)
+    port = system.query_port(0)
+    system.run_trace(trace, port=port)
+    # Every result record carries a terminal status code (1 or 2).
+    for handle in port.handles:
+        code = system.space.read_u64(handle.request.result_addr)
+        assert code in (1, 2)
+        if handle.status is QueryStatus.FOUND:
+            assert code == 1
+            assert (
+                system.space.read_u64(handle.request.result_addr + 8)
+                == handle.value
+            )
+
+
+def test_nb_faster_than_blocking_for_dense_queries():
+    """With high query density, NB batching beats blocking batches."""
+    name = "jvm"
+    system_b = System(small_config())
+    wl_b = make_workload(name, system_b, **SMALL_PARAMS[name])
+    blocking = run_qei(system_b, wl_b, batch=8)
+
+    system_nb = System(small_config())
+    wl_nb = make_workload(name, system_nb, **SMALL_PARAMS[name])
+    non_blocking = run_qei(system_nb, wl_nb, non_blocking=True, poll_every=24)
+    assert non_blocking.cycles <= blocking.cycles * 1.1
