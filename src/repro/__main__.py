@@ -38,6 +38,7 @@ from .analysis.ablations import (
     noc_hotspot_study,
     qst_size_sweep,
 )
+from .analysis.fault_campaign import fault_campaign
 from .analysis.interference import corun_interference
 from .analysis.scalability import scalability_study
 
@@ -62,6 +63,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation-hugepages": huge_page_study,
     "scalability": scalability_study,
     "interference": corun_interference,
+    "fault-campaign": fault_campaign,
 }
 
 #: Experiments that accept quick/full and workload filters.
@@ -72,7 +74,9 @@ TAKES_QUICK = {
     "ablation-hugepages",
     "interference",
 }
-TAKES_WORKLOADS = {"fig1", "fig7", "fig8", "fig9", "fig11", "fig12"}
+TAKES_WORKLOADS = {"fig1", "fig7", "fig8", "fig9", "fig11", "fig12", "fault-campaign"}
+#: Experiments driven by an explicit seed / fault budget.
+TAKES_SEEDED = {"fault-campaign"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit results as JSON instead of tables",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="fault-campaign: RNG seed driving fault selection (default 7)",
+    )
+    parser.add_argument(
+        "--faults",
+        type=int,
+        default=1000,
+        help="fault-campaign: number of faults to inject (default 1000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="fault-campaign: determinism re-runs of the campaign (default 2)",
+    )
     return parser
 
 
@@ -111,6 +133,10 @@ def run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["quick"] = not args.full
     if name in TAKES_WORKLOADS and args.workloads:
         kwargs["workloads"] = args.workloads
+    if name in TAKES_SEEDED:
+        kwargs["seed"] = args.seed
+        kwargs["faults"] = args.faults
+        kwargs["repeats"] = args.repeats
     result = driver(**kwargs)
     if args.json:
         import json

@@ -19,12 +19,15 @@ from .experiments import (
     ALL_SCHEMES,
     BENCH_WORKLOADS,
 )
+from .fault_campaign import CampaignViolation, fault_campaign
 from .report import ExperimentResult
 
 __all__ = [
     "ALL_SCHEMES",
     "BENCH_WORKLOADS",
+    "CampaignViolation",
     "ExperimentResult",
+    "fault_campaign",
     "fig1_profiling",
     "fig7_speedup",
     "fig8_latency_sweep",

@@ -1,0 +1,341 @@
+"""Seeded fault-injection campaign across workloads x integration schemes.
+
+The campaign's invariant — the robustness contract this reproduction makes
+about the QEI stack — is that **no hostile input escapes the architecture**:
+
+* every injected fault either aborts with a documented
+  :class:`~repro.core.abort.AbortCode` or is provably masked (the query
+  completes with the un-faulted oracle's answer);
+* every aborted query's software fallback returns the oracle answer within
+  the retry budget;
+* no Python exception escapes and no query hangs (the CFA watchdog bounds
+  every walk);
+* the same seed reproduces the identical per-outcome counter vector.
+
+Run it from the shell::
+
+    python -m repro fault-campaign --seed 7 --faults 1000
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import IntegrationScheme, small_config
+from ..core.abort import AbortCode
+from ..core.accelerator import QueryRequest, QueryStatus
+from ..core.cfa import RESULT_ABORTED
+from ..core.isa import read_result
+from ..errors import ReproError
+from ..faults import FaultInjector, FaultKind
+from ..faults.injector import MASKABLE_KINDS
+from ..system import System
+from ..workloads import make_workload
+from .experiments import SCHEME_ORDER
+from .report import ExperimentResult
+
+#: Workload sizes for the campaign: small enough that a fault resolves in
+#: milliseconds, big enough that structures span several pages and levels.
+CAMPAIGN_WORKLOADS: Dict[str, dict] = {
+    "dpdk": dict(num_flows=192, num_buckets=128, num_queries=24, zipf=False),
+    "jvm": dict(num_objects=192, num_queries=24),
+    "rocksdb": dict(num_items=128, num_queries=24),
+    "snort": dict(num_keywords=48, payload_bytes=96, num_queries=6),
+    "flann": dict(num_tables=3, num_items=96, num_points=6, num_buckets=64),
+}
+
+#: CEE step budget for campaign systems: far above any legitimate campaign
+#: walk (the longest, snort's 96B Aho-Corasick scan, needs ~1k steps) but
+#: small enough that an injected pointer cycle aborts in milliseconds.
+CAMPAIGN_WATCHDOG_STEPS = 10_000
+
+#: Non-blocking queries submitted per interrupt-flush event.
+FLUSH_BATCH = 4
+
+#: Cycles after the abort at which the "OS" repairs an unmapped page, so
+#: the fallback's first retry genuinely fails and the backoff is exercised.
+PAGE_REPAIR_DELAY = 100
+
+
+class CampaignViolation(ReproError):
+    """The campaign's robustness invariant was broken."""
+
+
+@dataclass
+class _Target:
+    """One (workload, scheme) system under test, built lazily."""
+
+    system: System
+    workload: object
+    injector: FaultInjector
+    nb_result_base: int
+
+
+def _build_target(
+    workload_name: str, scheme: str, rng: random.Random
+) -> _Target:
+    cfg = small_config(2)
+    cfg = cfg.replace(
+        qei=dataclasses.replace(cfg.qei, watchdog_steps=CAMPAIGN_WATCHDOG_STEPS)
+    )
+    system = System(cfg, scheme)
+    workload = make_workload(workload_name, system, **CAMPAIGN_WORKLOADS[workload_name])
+    injector = FaultInjector(system.space, rng=rng)
+    nb_result_base = system.mem.alloc(16 * FLUSH_BATCH, align=64)
+    return _Target(system, workload, injector, nb_result_base)
+
+
+# --------------------------------------------------------------------- #
+# Per-fault protocol
+# --------------------------------------------------------------------- #
+
+
+def _run_memory_fault(
+    target: _Target, kind: FaultKind, qidx: int, counts: Dict[str, int]
+) -> Optional[str]:
+    """Inject one memory-state fault, run the query, enforce the invariant.
+
+    Returns a violation description, or None when the contract held.
+    """
+    system, wl, injector = target.system, target.workload, target.injector
+    oracle = wl.expected[qidx]
+    fault = injector.inject(kind, wl.header_addr_for(qidx))
+    request = QueryRequest(
+        header_addr=wl.header_addr_for(qidx),
+        key_addr=wl._query_addrs[qidx],
+        blocking=True,
+    )
+    if kind is FaultKind.PAGE_UNMAP:
+        # Leave the damage in place briefly: the first software retry hits
+        # the still-missing page and the exponential backoff does real work.
+        # The repair event checks the injector's epoch so that, if this
+        # fault resolves before the event fires, it cannot heal a later one.
+        epoch = injector.epoch
+
+        def repair() -> None:
+            if injector.epoch == epoch:
+                injector.heal()
+
+        before_retry = lambda: system.engine.schedule(  # noqa: E731
+            PAGE_REPAIR_DELAY, repair
+        )
+    else:
+        before_retry = injector.heal
+    try:
+        outcome = system.fallback.execute(
+            request, lambda: wl.software_lookup(qidx), before_retry=before_retry
+        )
+    finally:
+        if injector.armed:
+            injector.heal()
+
+    if outcome.accelerated:
+        if kind not in MASKABLE_KINDS:
+            return (
+                f"{kind.value}: header fault must abort, but the query "
+                f"completed with {outcome.value!r}"
+            )
+        if outcome.value == oracle:
+            counts["masked"] = counts.get("masked", 0) + 1
+            return None
+        if kind is FaultKind.KEY_FLIP:
+            # Silent data corruption: the only kind allowed to complete
+            # with a wrong answer.  The oracle cross-check catches it and
+            # the healed software path must agree with the oracle.
+            if wl.software_lookup(qidx) != oracle:
+                return f"{kind.value}: healed software result disagrees with oracle"
+            counts["mismatch-detected"] = counts.get("mismatch-detected", 0) + 1
+            return None
+        return (
+            f"{kind.value}: silent wrong answer {outcome.value!r} "
+            f"(oracle {oracle!r})"
+        )
+
+    code = outcome.abort_code
+    if code not in fault.expected:
+        return (
+            f"{kind.value}: aborted with {code.name}, expected one of "
+            f"{[c.name for c in fault.expected]}"
+        )
+    if not outcome.resolved:
+        return f"{kind.value}: software fallback exhausted its retry budget"
+    if outcome.value != oracle:
+        return (
+            f"{kind.value}: fallback returned {outcome.value!r}, "
+            f"oracle {oracle!r}"
+        )
+    counts[f"abort.{code.name.lower()}"] = (
+        counts.get(f"abort.{code.name.lower()}", 0) + 1
+    )
+    return None
+
+
+def _run_flush_fault(
+    target: _Target, rng: random.Random, counts: Dict[str, int]
+) -> Optional[str]:
+    """Raise an interrupt with non-blocking queries in flight."""
+    system, wl = target.system, target.workload
+    space = system.space
+    indices = [rng.randrange(len(wl.queries)) for _ in range(FLUSH_BATCH)]
+    handles = []
+    for j, qidx in enumerate(indices):
+        result_addr = target.nb_result_base + 16 * j
+        space.write_u64(result_addr, 0)  # RESULT_PENDING
+        space.write_u64(result_addr + 8, 0)
+        handles.append(
+            system.accelerator.submit(
+                QueryRequest(
+                    header_addr=wl.header_addr_for(qidx),
+                    key_addr=wl._query_addrs[qidx],
+                    blocking=False,
+                    result_addr=result_addr,
+                ),
+                system.engine.now,
+            )
+        )
+    # Let an arbitrary amount of progress happen: depending on the scheme's
+    # submit latency the queries are queued, in the QST mid-walk, or done.
+    system.engine.advance(rng.randrange(1, 400))
+    finish = system.accelerator.flush()
+    system.engine.run(until=max(finish, system.engine.now))
+
+    aborted = 0
+    for j, (qidx, handle) in enumerate(zip(indices, handles)):
+        if not handle.done:
+            # Completed before the flush but its completion event posts
+            # later, or still in the submit network (it escaped the flush
+            # entirely and will execute normally) — either way, settle it.
+            system.accelerator.wait_for(handle)
+        oracle = wl.expected[qidx]
+        if handle.status is QueryStatus.ABORTED:
+            aborted += 1
+            if handle.abort_code is not AbortCode.FLUSH:
+                return f"flush: aborted handle carries {handle.abort_code.name}"
+            status, _, code = read_result(space, target.nb_result_base + 16 * j)
+            if status == RESULT_ABORTED and code is not AbortCode.FLUSH:
+                return f"flush: result record holds {code.name}, not FLUSH"
+            outcome = system.fallback.run_software(
+                lambda qi=qidx: wl.software_lookup(qi),
+                abort_code=AbortCode.FLUSH,
+            )
+            if not outcome.resolved or outcome.value != oracle:
+                return (
+                    f"flush: fallback returned {outcome.value!r}, "
+                    f"oracle {oracle!r}"
+                )
+        elif handle.value != oracle:
+            return (
+                f"flush: completed query returned {handle.value!r}, "
+                f"oracle {oracle!r}"
+            )
+    key = "abort.flush" if aborted else "masked"
+    counts[key] = counts.get(key, 0) + 1
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Campaign driver
+# --------------------------------------------------------------------- #
+
+
+def _run_campaign_pass(
+    seed: int,
+    faults: int,
+    workload_names: Sequence[str],
+    schemes: Sequence[str],
+) -> Tuple[Dict[str, int], List[str], float]:
+    """One full pass; returns (outcome counts, violations, fallback frac)."""
+    rng = random.Random(seed)
+    targets: Dict[Tuple[str, str], _Target] = {}
+    counts: Dict[str, int] = {}
+    violations: List[str] = []
+    combos = [(w, s) for w in workload_names for s in schemes]
+
+    for _ in range(faults):
+        combo = combos[rng.randrange(len(combos))]
+        if combo not in targets:
+            targets[combo] = _build_target(combo[0], combo[1], rng)
+        target = targets[combo]
+        kinds = target.injector.kinds_for(target.workload.header_addr_for(0))
+        kinds = tuple(kinds) + (FaultKind.INTERRUPT_FLUSH,)
+        kind = kinds[rng.randrange(len(kinds))]
+        try:
+            if kind is FaultKind.INTERRUPT_FLUSH:
+                violation = _run_flush_fault(target, rng, counts)
+            else:
+                qidx = rng.randrange(len(target.workload.queries))
+                violation = _run_memory_fault(target, kind, qidx, counts)
+        except Exception as exc:  # noqa: BLE001 - escaping exceptions ARE the bug
+            violation = (
+                f"{kind.value} on {combo[0]}/{combo[1]}: escaped "
+                f"{type(exc).__name__}: {exc}"
+            )
+        if violation:
+            violations.append(f"{combo[0]}/{combo[1]}: {violation}")
+
+    fractions = [t.system.fallback.fallback_fraction for t in targets.values()]
+    fallback_fraction = sum(fractions) / len(fractions) if fractions else 0.0
+    return counts, violations, fallback_fraction
+
+
+def fault_campaign(
+    *,
+    seed: int = 7,
+    faults: int = 1000,
+    repeats: int = 2,
+    workloads: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Seeded fault campaign: every fault -> abort code + correct fallback."""
+    workload_names = list(workloads or CAMPAIGN_WORKLOADS)
+    for name in workload_names:
+        if name not in CAMPAIGN_WORKLOADS:
+            raise CampaignViolation(f"no campaign parameters for workload {name!r}")
+    scheme_names = [IntegrationScheme.parse(s).value for s in (schemes or SCHEME_ORDER)]
+
+    vectors: List[Dict[str, int]] = []
+    all_violations: List[str] = []
+    fallback_fraction = 0.0
+    for _ in range(max(1, repeats)):
+        counts, violations, fallback_fraction = _run_campaign_pass(
+            seed, faults, workload_names, scheme_names
+        )
+        vectors.append(counts)
+        all_violations.extend(violations)
+
+    if all_violations:
+        preview = "; ".join(all_violations[:5])
+        raise CampaignViolation(
+            f"{len(all_violations)} invariant violations, e.g.: {preview}"
+        )
+    deterministic = all(v == vectors[0] for v in vectors[1:])
+    if not deterministic:
+        raise CampaignViolation(
+            f"seed {seed} did not reproduce the outcome vector: {vectors}"
+        )
+
+    result = ExperimentResult(
+        experiment="fault-campaign",
+        title=(
+            f"{faults} injected faults x {len(workload_names)} workloads "
+            f"x {len(scheme_names)} schemes (seed {seed})"
+        ),
+        columns=["outcome", "count", "share"],
+    )
+    total = sum(vectors[0].values()) or 1
+    for outcome in sorted(vectors[0]):
+        count = vectors[0][outcome]
+        result.add_row(outcome=outcome, count=count, share=count / total)
+    result.notes.append(
+        "invariant held: every fault -> documented abort code + oracle-"
+        "matching software fallback; no escaped exceptions; no hangs"
+    )
+    result.notes.append(f"mean software-fallback fraction {fallback_fraction:.3f}")
+    if repeats > 1:
+        result.notes.append(
+            f"outcome vector reproduced identically across {repeats} runs"
+        )
+    return result

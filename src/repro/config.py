@@ -180,8 +180,41 @@ class QeiConfig:
     comparator_latency_cycles: int = 1
     #: Cycles for the CEE to select + process one ready QST entry.
     step_cycles: int = 1
+    #: Per-query watchdog: CEE transitions a query may take before it is
+    #: force-aborted with ``AbortCode.WATCHDOG`` (catches pointer cycles).
+    watchdog_steps: int = 100_000
     #: Dedicated TLB used only by the CHA-TLB scheme (HALO-like).
     cha_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(1024, 8, 2))
+
+    def __post_init__(self) -> None:
+        if self.watchdog_steps <= 0:
+            raise ConfigurationError("watchdog_steps must be positive")
+
+
+@dataclass(frozen=True)
+class FallbackConfig:
+    """Software-fallback policy applied when the accelerator aborts a query.
+
+    The runtime re-executes the query on the CPU path after waiting an
+    exponentially growing number of simulated cycles (modelling the OS
+    taking the fault, repairing or steering around the damage, and the
+    runtime backing off a transiently flushed accelerator).
+    """
+
+    #: Software re-executions attempted before the query is reported failed.
+    max_retries: int = 3
+    #: Simulated cycles waited before the first retry.
+    backoff_cycles: int = 64
+    #: Growth factor applied to the wait between successive retries.
+    backoff_multiplier: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_retries <= 0:
+            raise ConfigurationError("fallback max_retries must be positive")
+        if self.backoff_cycles < 0:
+            raise ConfigurationError("fallback backoff_cycles must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ConfigurationError("fallback backoff_multiplier must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -218,6 +251,7 @@ class SystemConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     noc: NocConfig = field(default_factory=NocConfig)
     qei: QeiConfig = field(default_factory=QeiConfig)
+    fallback: FallbackConfig = field(default_factory=FallbackConfig)
     scheme_latencies: dict = field(
         default_factory=lambda: dict(DEFAULT_SCHEME_LATENCIES)
     )

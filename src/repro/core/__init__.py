@@ -14,13 +14,15 @@ Components (Sec. III–V):
 * :mod:`isa` — QUERY_B / QUERY_NB architectural semantics + query port.
 """
 
+from .abort import AbortCode
 from .accelerator import QeiAccelerator, QueryHandle, QueryStatus
 from .cfa import CfaProgram, FirmwareImage, QueryContext
 from .header import DataStructureHeader, StructureType
 from .integration import build_integration, Integration
-from .isa import QueryPort
+from .isa import QueryPort, read_result
 
 __all__ = [
+    "AbortCode",
     "CfaProgram",
     "DataStructureHeader",
     "FirmwareImage",
@@ -32,4 +34,5 @@ __all__ = [
     "QueryStatus",
     "StructureType",
     "build_integration",
+    "read_result",
 ]

@@ -1,0 +1,77 @@
+"""Architectural abort codes for failed queries (paper Sec. IV-D).
+
+When a query cannot complete — a malformed header, a broken pointer chain,
+an interrupt flush, a runaway CFA caught by the watchdog — the accelerator
+transitions the QST entry to the EXCEPTION state and reports *why* through
+one shared code space.  Blocking queries surface the code on their
+:class:`~repro.core.accelerator.QueryHandle`; non-blocking queries get it
+written into the payload word of their 16-byte result record (the status
+word keeps the coarse ``RESULT_FAULT``/``RESULT_ABORTED`` encoding software
+already polls for).
+
+This enum is the single source of truth used by the header decoder, the CFA
+programs, the accelerator's flush/abort-store path, the QST's release
+accounting and the software fallback executor.  It lives in its own
+dependency-free module because every layer of the stack imports it; the
+architectural surface re-exports it from :mod:`repro.core.isa` and
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AbortCode(enum.IntEnum):
+    """Why a query aborted.  ``NONE`` means the query did not abort.
+
+    Values 1 and 2 are reserved: they are the ``RESULT_FOUND`` /
+    ``RESULT_NOT_FOUND`` success statuses of the non-blocking result record.
+    ``FAULT`` and ``FLUSH`` deliberately equal ``RESULT_FAULT`` (3) and
+    ``RESULT_ABORTED`` (4) so the coarse status word of a result record is
+    itself a valid (generic) abort code.
+    """
+
+    NONE = 0
+    #: Generic CFA fault with no more specific classification.
+    FAULT = 3
+    #: Aborted by an interrupt flush (Sec. IV-D context switch).
+    FLUSH = 4
+    #: A micro-op touched an unmapped virtual page.
+    SEGFAULT = 5
+    #: A micro-op violated page permissions.
+    PROTECTION = 6
+    #: Header carries unknown flag bits or garbage in its reserved bytes.
+    BAD_MAGIC = 7
+    #: Header names a structure type the loaded firmware does not know,
+    #: or one that mismatches the dispatched program.
+    BAD_TYPE = 8
+    #: Header subtype outside the program's supported range.
+    BAD_SUBTYPE = 9
+    #: Header key length is zero or exceeds the architectural maximum.
+    BAD_KEY_LENGTH = 10
+    #: Header size field invalid for the structure (e.g. zero buckets).
+    BAD_SIZE = 11
+    #: Header auxiliary field invalid (e.g. skip-list max level of zero).
+    BAD_AUX = 12
+    #: The VALID flag is clear: software never published the structure.
+    HEADER_INVALID = 13
+    #: A node carried a NULL key pointer the walk must dereference.
+    NULL_POINTER = 14
+    #: The per-query CFA watchdog expired (runaway walk / pointer cycle).
+    WATCHDOG = 15
+    #: The CFA program itself misbehaved (firmware bug trap).
+    FIRMWARE = 16
+
+    @property
+    def is_abort(self) -> bool:
+        """True for every code that terminates a query abnormally."""
+        return self >= AbortCode.FAULT
+
+    @classmethod
+    def of(cls, value: int) -> "AbortCode":
+        """Map a raw code word to an :class:`AbortCode` (unknown → FAULT)."""
+        try:
+            return cls(value)
+        except ValueError:
+            return cls.FAULT

@@ -20,10 +20,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
-from ..errors import AcceleratorError, MemoryError_, QstOverflowError
+from ..errors import (
+    AcceleratorError,
+    FirmwareError,
+    MemoryError_,
+    ProtectionFault,
+    QstOverflowError,
+    SegmentationFault,
+)
 from ..mem.paging import AddressSpace
 from ..sim.engine import Engine
 from ..sim.stats import StatsRegistry
+from .abort import AbortCode
 from .cfa import (
     AluOp,
     Compare,
@@ -79,6 +87,7 @@ class QueryHandle:
     status: QueryStatus = QueryStatus.PENDING
     value: Optional[int] = None
     fault_detail: str = ""
+    abort_code: AbortCode = AbortCode.NONE
     _callbacks: List[Callable[["QueryHandle"], None]] = field(default_factory=list)
 
     @property
@@ -118,11 +127,15 @@ class QeiAccelerator:
         qst_entries: int,
         stats: Optional[StatsRegistry] = None,
         name: str = "qei",
+        watchdog_steps: int = 100_000,
     ) -> None:
         self.engine = engine
         self.firmware = firmware
         self.integration = integration
         self.space = space
+        if watchdog_steps <= 0:
+            raise AcceleratorError("watchdog budget must be positive")
+        self.watchdog_steps = watchdog_steps
         registry = stats or StatsRegistry()
         self.stats = registry.scoped(name)
         self.qst = QueryStateTable(qst_entries, stats=self.stats)
@@ -149,9 +162,22 @@ class QeiAccelerator:
     def submit(self, request: QueryRequest, issue_cycle: int) -> QueryHandle:
         """Issue a query at ``issue_cycle`` (clamped to engine time)."""
         handle = QueryHandle(request, submit_cycle=issue_cycle)
-        home = self.integration.home_node(
-            request.core_id, request.header_addr, request.key_addr
-        )
+        try:
+            home = self.integration.home_node(
+                request.core_id, request.header_addr, request.key_addr
+            )
+        except MemoryError_ as fault:
+            # The submission path's own operand translation faulted (e.g.
+            # the key's page was unmapped under us).  The query is accepted
+            # and aborted in place rather than crashing the submitting core.
+            handle._home = 0  # type: ignore[attr-defined]
+            code = self._memory_code(fault)
+            detail = str(fault)
+            self.engine.schedule_at(
+                max(self.engine.now, issue_cycle),
+                lambda: self._submit_fault(handle, detail, code),
+            )
+            return handle
         arrival = max(self.engine.now, issue_cycle) + self.integration.submit_latency(
             request.core_id, home
         )
@@ -160,6 +186,22 @@ class QeiAccelerator:
             max(arrival, self.engine.now), lambda: self._arrive(handle)
         )
         return handle
+
+    def _submit_fault(self, handle: QueryHandle, detail: str, code: AbortCode) -> None:
+        """Abort a query that never made it past submission."""
+        now = self.engine.now
+        request = handle.request
+        if not request.blocking and request.result_addr:
+            try:
+                self.space.write_u64(request.result_addr, RESULT_FAULT)
+                self.space.write_u64(request.result_addr + 8, int(code))
+            except MemoryError_:
+                pass  # the result record itself is unreachable
+        handle.fault_detail = detail
+        handle.abort_code = code
+        self._faulted.add()
+        self.stats.counter(f"abort.{code.name.lower()}").add()
+        handle._finish(QueryStatus.FAULT, now, None)
 
     def _arrive(self, handle: QueryHandle) -> None:
         self._query_queue.append(handle)
@@ -190,18 +232,32 @@ class QeiAccelerator:
     # ------------------------------------------------------------------ #
 
     def _schedule_step(self, entry: QstEntry, earliest: int) -> None:
-        handle = self._entry_handles[entry.index]
+        handle = self._entry_handles.get(entry.index)
+        if handle is None or not entry.busy:
+            return  # released (fault/flush) before this wakeup landed
         home = handle._home  # type: ignore[attr-defined]
         start = max(earliest, self._cee_free_at.get(home, 0), self.engine.now)
         self._cee_free_at[home] = start + 1
-        self.engine.schedule_at(start, lambda: self._step(entry))
+        generation = entry.generation
+        self.engine.schedule_at(start, lambda: self._step(entry, generation))
 
-    def _step(self, entry: QstEntry) -> None:
-        if not entry.busy or entry.ctx is None:
-            return  # flushed while waiting
+    def _step(self, entry: QstEntry, generation: int) -> None:
+        if not entry.busy or entry.ctx is None or entry.generation != generation:
+            return  # flushed while waiting (slot possibly re-allocated)
         ctx = entry.ctx
         handle = self._entry_handles[entry.index]
         self._steps.add()
+        entry.steps += 1
+        if entry.steps > self.watchdog_steps:
+            # Per-query watchdog (Sec. IV-D hardening): a corrupted pointer
+            # chain can cycle forever; the budget bounds every walk.
+            self._fault(
+                entry,
+                handle,
+                f"watchdog: exceeded {self.watchdog_steps} CEE steps",
+                code=AbortCode.WATCHDOG,
+            )
+            return
         program = None
         try:
             # The header's type selects the CFA program; before the header is
@@ -210,10 +266,15 @@ class QeiAccelerator:
             program = self.firmware.program_for(type_code)
             outcome = program.step(ctx)
         except MemoryError_ as fault:
-            self._fault(entry, handle, str(fault))
+            self._fault(entry, handle, str(fault), code=self._memory_code(fault))
+            return
+        except FirmwareError as exc:
+            self._fault(entry, handle, str(exc), code=AbortCode.BAD_TYPE)
             return
         except Exception as exc:  # noqa: BLE001 - firmware bugs become faults
-            self._fault(entry, handle, f"firmware error: {exc}")
+            self._fault(
+                entry, handle, f"firmware error: {exc}", code=AbortCode.FIRMWARE
+            )
             return
         ctx.state = outcome.next_state
         if outcome.action is None:
@@ -222,7 +283,15 @@ class QeiAccelerator:
         try:
             self._issue(entry, handle, outcome.action)
         except MemoryError_ as fault:
-            self._fault(entry, handle, str(fault))
+            self._fault(entry, handle, str(fault), code=self._memory_code(fault))
+
+    @staticmethod
+    def _memory_code(fault: MemoryError_) -> AbortCode:
+        if isinstance(fault, SegmentationFault):
+            return AbortCode.SEGFAULT
+        if isinstance(fault, ProtectionFault):
+            return AbortCode.PROTECTION
+        return AbortCode.FAULT
 
     def _peek_type(self, ctx: QueryContext) -> int:
         """Read the type byte functionally to pick the program for START.
@@ -247,7 +316,12 @@ class QeiAccelerator:
             self._complete(entry, handle, action.value)
             return
         if isinstance(action, Fault):
-            self._fault(entry, handle, action.detail or "CFA fault")
+            self._fault(
+                entry,
+                handle,
+                action.detail or "CFA fault",
+                code=AbortCode.of(action.code),
+            )
             return
 
         if isinstance(action, MemRead):
@@ -310,10 +384,13 @@ class QeiAccelerator:
         return usable
 
     def _resume_after(self, entry: QstEntry, ready_at: int) -> None:
-        self.engine.schedule_at(
-            max(ready_at, self.engine.now),
-            lambda: self._schedule_step(entry, self.engine.now),
-        )
+        generation = entry.generation
+
+        def wake() -> None:
+            if entry.generation == generation:
+                self._schedule_step(entry, self.engine.now)
+
+        self.engine.schedule_at(max(ready_at, self.engine.now), wake)
 
     # ------------------------------------------------------------------ #
     # Completion paths
@@ -338,7 +415,14 @@ class QeiAccelerator:
             max(finish, now), lambda: handle._finish(status, max(finish, now), value)
         )
 
-    def _fault(self, entry: QstEntry, handle: QueryHandle, detail: str) -> None:
+    def _fault(
+        self,
+        entry: QstEntry,
+        handle: QueryHandle,
+        detail: str,
+        *,
+        code: AbortCode = AbortCode.FAULT,
+    ) -> None:
         now = self.engine.now
         home = handle._home  # type: ignore[attr-defined]
         request = handle.request
@@ -346,10 +430,14 @@ class QeiAccelerator:
         if request.blocking:
             finish = now + self.integration.return_latency(request.core_id, home)
         else:
-            finish = now + self._write_result(request, RESULT_FAULT, 0, now, home)
+            # Status word keeps the coarse FAULT encoding software polls for;
+            # the payload word carries the specific abort code.
+            finish = now + self._write_result(request, RESULT_FAULT, int(code), now, home)
         handle.fault_detail = detail
+        handle.abort_code = code
         self._faulted.add()
-        self._release(entry)
+        self.stats.counter(f"abort.{code.name.lower()}").add()
+        self._release(entry, code=code)
         self.engine.schedule_at(
             max(finish, now),
             lambda: handle._finish(QueryStatus.FAULT, max(finish, now), None),
@@ -365,9 +453,9 @@ class QeiAccelerator:
         self.space.write_u64(request.result_addr + 8, value)
         return self.integration.mem_write(request.result_addr, 16, now, home, request.core_id)
 
-    def _release(self, entry: QstEntry) -> None:
+    def _release(self, entry: QstEntry, *, code: AbortCode = AbortCode.NONE) -> None:
         self._entry_handles.pop(entry.index, None)
-        self.qst.release(entry)
+        self.qst.release(entry, abort_code=code)
         self._drain_queue()
 
     # ------------------------------------------------------------------ #
@@ -396,14 +484,21 @@ class QeiAccelerator:
                 start = now + nb_index
                 nb_index += 1
                 latency = self._write_result(
-                    handle.request, RESULT_ABORTED, 0, start, handle._home  # type: ignore[attr-defined]
+                    handle.request,
+                    RESULT_ABORTED,
+                    int(AbortCode.FLUSH),
+                    start,
+                    handle._home,  # type: ignore[attr-defined]
                 )
                 finish = max(finish, start + latency)
             status = QueryStatus.ABORTED
+            handle.abort_code = AbortCode.FLUSH
+            self.stats.counter("abort.flush").add()
             self._entry_handles.pop(entry.index, None)
-            self.qst.release(entry)
+            self.qst.release(entry, abort_code=AbortCode.FLUSH)
             handle._finish(status, now, None)
         for queued in list(self._query_queue):
+            queued.abort_code = AbortCode.FLUSH
             queued._finish(QueryStatus.ABORTED, now, None)
         self._query_queue.clear()
         self.integration.flush_translations()

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import FirmwareError
+from .abort import AbortCode
 from .header import DataStructureHeader
 
 #: Architectural states shared by every program (Sec. IV-C / IV-D).
@@ -179,9 +180,33 @@ class CfaProgram:
     TYPE_CODE: int = 0
     NAME: str = "abstract"
     STATES: Tuple[str, ...] = ()
+    #: Inclusive range of subtype values the program understands.
+    SUBTYPE_MIN: int = 0
+    SUBTYPE_MAX: int = 255
+    #: True when the header's size field must be a positive count
+    #: (static structures such as hash-table bucket arrays).
+    REQUIRES_SIZE: bool = False
 
     def step(self, ctx: QueryContext) -> StepOutcome:
         raise NotImplementedError
+
+    def validate_header(
+        self, header: DataStructureHeader, raw: bytes = b""
+    ) -> AbortCode:
+        """Decode-time header checks run in the PARSE state (Sec. IV-D).
+
+        Chains the generic field checks with the program's own parameter
+        ranges; subclasses override to add structure-specific rules (e.g.
+        the skip-list's max-level bound) and should call ``super()`` first.
+        """
+        code = header.validate(expected_type=self.TYPE_CODE, raw=raw)
+        if code is not AbortCode.NONE:
+            return code
+        if not self.SUBTYPE_MIN <= header.subtype <= self.SUBTYPE_MAX:
+            return AbortCode.BAD_SUBTYPE
+        if self.REQUIRES_SIZE and header.size <= 0:
+            return AbortCode.BAD_SIZE
+        return AbortCode.NONE
 
     def validate(self, max_states: int) -> None:
         """Check the program fits the QST's state-field encoding."""

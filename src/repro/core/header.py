@@ -24,12 +24,20 @@ from dataclasses import dataclass
 
 from ..errors import DataStructureError
 from ..mem.paging import AddressSpace
+from .abort import AbortCode
 
 HEADER_BYTES = 64
 
 #: flags
 FLAG_VALID = 0x1
 FLAG_READ_ONLY = 0x2
+#: Every flag bit the architecture defines; anything else is garbage.
+KNOWN_FLAGS_MASK = FLAG_VALID | FLAG_READ_ONLY
+
+#: Architectural bound on the key-length field.  The CFA stages keys through
+#: 64B scratch lines, so keys are streamed; anything past one page is a
+#: corrupted header, not a real key.
+MAX_KEY_LENGTH = 4096
 
 
 class StructureType(enum.IntEnum):
@@ -70,6 +78,37 @@ class DataStructureHeader:
     @property
     def valid(self) -> bool:
         return bool(self.flags & FLAG_VALID)
+
+    # ------------------------------------------------------------------ #
+
+    def validate(
+        self,
+        *,
+        expected_type: "int | None" = None,
+        raw: bytes = b"",
+    ) -> AbortCode:
+        """Strict decode-time checks (Sec. IV-D hardening).
+
+        Returns the abort code a corrupted field maps to, or
+        :attr:`AbortCode.NONE` for a well-formed header.  The CFA runs this
+        in its PARSE state so malformed metadata aborts before the walk ever
+        dereferences a pointer, instead of failing deep inside the CFA.
+
+        ``raw`` (the full 64B cacheline, when available) additionally checks
+        that the reserved tail bytes are zero — the cheapest way hardware
+        spots a header cacheline that was overwritten wholesale.
+        """
+        if self.flags & ~KNOWN_FLAGS_MASK:
+            return AbortCode.BAD_MAGIC
+        if len(raw) >= HEADER_BYTES and any(raw[32:HEADER_BYTES]):
+            return AbortCode.BAD_MAGIC
+        if not self.valid:
+            return AbortCode.HEADER_INVALID
+        if not 0 < self.key_length <= MAX_KEY_LENGTH:
+            return AbortCode.BAD_KEY_LENGTH
+        if expected_type is not None and self.type_code != expected_type:
+            return AbortCode.BAD_TYPE
+        return AbortCode.NONE
 
     # ------------------------------------------------------------------ #
 

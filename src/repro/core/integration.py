@@ -30,7 +30,7 @@ from ..config import (
     IntegrationScheme,
     SystemConfig,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, MemoryError_
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.mmu import Mmu, PAGE_WALK_CYCLES
 from ..mem.paging import AddressSpace
@@ -120,8 +120,14 @@ class Integration:
         if header_vaddr:
             target = self._primary_target(key_addr, header_vaddr)
             if target is not None:
-                paddr = self.space.translate(target, "r")
-                return self.hierarchy.slice_of(self.hierarchy.line_of(paddr))
+                try:
+                    paddr = self.space.translate(target, "r")
+                except MemoryError_:
+                    # Corrupt metadata pointed the probe off the map; spread
+                    # by key and let the CFA reject the header at PARSE.
+                    pass
+                else:
+                    return self.hierarchy.slice_of(self.hierarchy.line_of(paddr))
         paddr = self.space.translate(key_addr, "r")
         key = self.space.read(key_addr, CACHELINE_BYTES if not header_vaddr else 16)
         from ..datastructs.hashing import fnv1a64
@@ -129,20 +135,28 @@ class Integration:
         return fnv1a64(key) % len(self.slice_comparators)
 
     def _primary_target(self, key_addr: int, header_vaddr: int) -> Optional[int]:
-        """First data address a hash-table query touches (None otherwise)."""
+        """First data address a hash-table query touches (None otherwise).
+
+        The probe trusts nothing: the header it reads may be hostile (wild
+        key_length, zero size, garbage subtype), so any fault or nonsense
+        here means "no primary owner" — the query spreads by key instead and
+        the CFA's header validation surfaces the proper abort code.
+        """
         from ..datastructs.hashing import primary_hash
-        from .header import DataStructureHeader, StructureType
+        from .header import MAX_KEY_LENGTH, DataStructureHeader, StructureType
 
         try:
             header = DataStructureHeader.load(self.space, header_vaddr)
+            if header.type_code != int(StructureType.HASH_TABLE) or not header.size:
+                return None
+            if not 0 < header.key_length <= MAX_KEY_LENGTH:
+                return None
+            key = self.space.read(key_addr, header.key_length)
+            bucket = primary_hash(key) % header.size
+            bucket_bytes = header.subtype * 16
+            return header.root_ptr + bucket * bucket_bytes
         except Exception:  # malformed headers fall back to key spreading
             return None
-        if header.type_code != int(StructureType.HASH_TABLE) or not header.size:
-            return None
-        key = self.space.read(key_addr, header.key_length)
-        bucket = primary_hash(key) % header.size
-        bucket_bytes = header.subtype * 16
-        return header.root_ptr + bucket * bucket_bytes
 
     def submit_latency(self, core_id: int, home: int) -> int:
         # Table I's accelerator-core latencies are round trips; each

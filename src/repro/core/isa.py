@@ -22,7 +22,10 @@ from typing import List, Optional, Tuple, Union
 
 from ..cpu.isa import MicroOp, OpKind
 from ..errors import AcceleratorError
+from ..mem.paging import AddressSpace
+from .abort import AbortCode
 from .accelerator import QeiAccelerator, QueryHandle, QueryRequest
+from .cfa import RESULT_ABORTED, RESULT_FAULT
 
 #: Cycles for a QUERY_NB to hand its operands to the accelerator and retire.
 NB_ACCEPT_CYCLES = 3
@@ -69,6 +72,20 @@ class CompletionPromise:
 
 
 CompletionLike = Union[int, CompletionPromise]
+
+
+def read_result(space: AddressSpace, result_addr: int) -> Tuple[int, int, AbortCode]:
+    """Decode a non-blocking query's 16B result record.
+
+    Returns ``(status, value, abort_code)``.  The status word keeps the
+    coarse ``RESULT_*`` encoding the poll loop tests; when it signals a
+    fault or flush, the payload word is the specific :class:`AbortCode`.
+    """
+    status = space.read_u64(result_addr)
+    payload = space.read_u64(result_addr + 8)
+    if status in (RESULT_FAULT, RESULT_ABORTED):
+        return status, payload, AbortCode.of(payload)
+    return status, payload, AbortCode.NONE
 
 
 class QueryPort:

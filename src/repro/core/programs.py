@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..datastructs.hashing import mix64, primary_hash, secondary_hash, signature_of
+from .abort import AbortCode
 from .cfa import (
     AluOp,
     CfaProgram,
@@ -58,10 +59,13 @@ class _StandardProgram(CfaProgram):
                 "PARSE", MemRead(ctx.header_addr, 64, "header")
             )
         if ctx.state == "PARSE":
-            header = DataStructureHeader.decode(ctx.scratch["header"])
-            if not header.valid or header.type_code != self.TYPE_CODE:
+            raw = ctx.scratch["header"]
+            header = DataStructureHeader.decode(raw)
+            code = self.validate_header(header, raw=raw)
+            if code is not AbortCode.NONE:
                 return StepOutcome(
-                    STATE_EXCEPTION, Fault(detail="invalid or mismatched header")
+                    STATE_EXCEPTION,
+                    Fault(code=int(code), detail=f"header rejected: {code.name}"),
                 )
             ctx.header = header
             return StepOutcome(
@@ -89,6 +93,7 @@ class LinkedListCfa(_StandardProgram):
     TYPE_CODE = int(StructureType.LINKED_LIST)
     NAME = "linked-list"
     STATES = _StandardProgram.PRELUDE_STATES + ("FETCH_NODE", "COMPARE", "CHECK")
+    SUBTYPE_MAX = 0
 
     def after_parse(self, ctx: QueryContext) -> StepOutcome:
         root = ctx.header.root_ptr
@@ -101,7 +106,10 @@ class LinkedListCfa(_StandardProgram):
         if ctx.state == "COMPARE":
             key_ptr = ctx.scratch_u64("node", 0)
             if not key_ptr:
-                return StepOutcome(STATE_EXCEPTION, Fault(detail="null key pointer"))
+                return StepOutcome(
+                    STATE_EXCEPTION,
+                    Fault(code=int(AbortCode.NULL_POINTER), detail="null key pointer"),
+                )
             return StepOutcome(
                 "CHECK",
                 Compare(key_ptr, ctx.key_addr, ctx.header.key_length, "cmp"),
@@ -131,6 +139,10 @@ class HashTableCfa(_StandardProgram):
         "CHECK",
         "READ_VALUE",
     )
+    #: subtype = entries per bucket; a zero bucket width makes no progress.
+    SUBTYPE_MIN = 1
+    SUBTYPE_MAX = 128
+    REQUIRES_SIZE = True
 
     def after_parse(self, ctx: QueryContext) -> StepOutcome:
         return StepOutcome("HASH", HashOp("key", "hash"))
@@ -237,6 +249,17 @@ class SkipListCfa(_StandardProgram):
 
     #: Bytes of a node staged per fetch (one cacheline).
     NODE_FETCH = 64
+    SUBTYPE_MAX = 0
+    #: Architectural bound on the tower height encoded in the aux field.
+    MAX_LEVELS = 64
+
+    def validate_header(self, header, raw: bytes = b"") -> AbortCode:
+        code = super().validate_header(header, raw=raw)
+        if code is not AbortCode.NONE:
+            return code
+        if not 1 <= header.aux <= self.MAX_LEVELS:
+            return AbortCode.BAD_AUX
+        return AbortCode.NONE
 
     def after_parse(self, ctx: QueryContext) -> StepOutcome:
         ctx.vars["node"] = ctx.header.root_ptr
@@ -272,6 +295,11 @@ class SkipListCfa(_StandardProgram):
             )
         if ctx.state == "FETCH_NEXT":
             key_ptr = ctx.scratch_u64("next", 0)
+            if not key_ptr:
+                return StepOutcome(
+                    STATE_EXCEPTION,
+                    Fault(code=int(AbortCode.NULL_POINTER), detail="null key pointer"),
+                )
             return StepOutcome(
                 "CHECK_CMP",
                 Compare(key_ptr, ctx.key_addr, ctx.header.key_length, "cmp"),
@@ -298,6 +326,7 @@ class BinaryTreeCfa(_StandardProgram):
     TYPE_CODE = int(StructureType.BINARY_TREE)
     NAME = "binary-tree"
     STATES = _StandardProgram.PRELUDE_STATES + ("FETCH_NODE", "COMPARE", "CHECK")
+    SUBTYPE_MAX = 0
 
     def after_parse(self, ctx: QueryContext) -> StepOutcome:
         root = ctx.header.root_ptr
@@ -309,6 +338,11 @@ class BinaryTreeCfa(_StandardProgram):
     def dispatch(self, ctx: QueryContext) -> StepOutcome:
         if ctx.state == "COMPARE":
             key_ptr = ctx.scratch_u64("node", 0)
+            if not key_ptr:
+                return StepOutcome(
+                    STATE_EXCEPTION,
+                    Fault(code=int(AbortCode.NULL_POINTER), detail="null key pointer"),
+                )
             return StepOutcome(
                 "CHECK",
                 Compare(key_ptr, ctx.key_addr, ctx.header.key_length, "cmp"),
@@ -347,6 +381,8 @@ class TrieCfa(_StandardProgram):
         "FOLLOW_FAIL",
         "ADVANCE",
     )
+    #: subtypes 0 (exact), 1 (Aho-Corasick scan), 2 (longest-prefix match).
+    SUBTYPE_MAX = 2
 
     #: Edges fetched per memory micro-op (cacheline / edge size).
     EDGES_PER_LINE = 64 // _EDGE
@@ -500,6 +536,8 @@ class HashOfListsCfa(_StandardProgram):
         "COMPARE",
         "CHECK",
     )
+    SUBTYPE_MAX = 0
+    REQUIRES_SIZE = True
 
     def after_parse(self, ctx: QueryContext) -> StepOutcome:
         return StepOutcome("HASH", HashOp("key", "hash"))
@@ -518,6 +556,11 @@ class HashOfListsCfa(_StandardProgram):
             return StepOutcome("COMPARE", MemRead(node, _LIST_NODE, "node"))
         if ctx.state == "COMPARE":
             key_ptr = ctx.scratch_u64("node", 0)
+            if not key_ptr:
+                return StepOutcome(
+                    STATE_EXCEPTION,
+                    Fault(code=int(AbortCode.NULL_POINTER), detail="null key pointer"),
+                )
             return StepOutcome(
                 "CHECK",
                 Compare(key_ptr, ctx.key_addr, ctx.header.key_length, "cmp"),

@@ -35,6 +35,9 @@ class BPlusTreeCfa(_StandardProgram):
 
     TYPE_CODE = int(StructureType.BPLUS_TREE)
     NAME = "bplus-tree"
+    #: subtype = fanout; a tree needs at least two children per node.
+    SUBTYPE_MIN = 2
+    SUBTYPE_MAX = 64
     STATES = _StandardProgram.PRELUDE_STATES + (
         "FETCH_NODE",
         "SEPARATOR",

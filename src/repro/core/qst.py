@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..errors import AcceleratorError
 from ..sim.stats import StatsRegistry
+from .abort import AbortCode
 from .cfa import QueryContext
 
 
@@ -32,6 +33,11 @@ class QstEntry:
     ready: bool = False
     busy: bool = False  # allocated
     ready_since: int = 0
+    #: CEE transitions charged to this query — the watchdog's counter.
+    steps: int = 0
+    #: Bumped on every allocation so wakeups scheduled for a released (e.g.
+    #: flushed) query never act on the slot's next occupant.
+    generation: int = 0
 
     @property
     def state(self) -> str:
@@ -87,12 +93,16 @@ class QueryStateTable:
                 entry.ctx = ctx
                 entry.mode_blocking = blocking
                 entry.result_addr = result_addr
+                entry.steps = 0
+                entry.generation += 1
                 self._allocs.add()
                 self.sample_occupancy()
                 return entry
         return None
 
-    def release(self, entry: QstEntry) -> None:
+    def release(
+        self, entry: QstEntry, *, abort_code: AbortCode = AbortCode.NONE
+    ) -> None:
         if not entry.busy:
             raise AcceleratorError(f"double release of QST entry {entry.index}")
         entry.busy = False
@@ -100,6 +110,8 @@ class QueryStateTable:
         entry.ctx = None
         entry.result_addr = 0
         self._releases.add()
+        if abort_code.is_abort:
+            self.stats.counter(f"aborts.{abort_code.name.lower()}").add()
         self.sample_occupancy()
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,12 @@
+"""Fault injection for the QEI accelerator stack.
+
+A deterministic, seed-driven :class:`~repro.faults.injector.FaultInjector`
+mutates live simulated memory and machine state — corrupted headers, broken
+pointer chains, flipped key bytes, pages unmapped mid-walk — so campaigns
+can prove every hostile input degrades to an abort code plus a correct
+software-fallback result (see ``docs/fault-injection.md``).
+"""
+
+from .injector import FaultInjector, FaultKind, InjectedFault
+
+__all__ = ["FaultInjector", "FaultKind", "InjectedFault"]

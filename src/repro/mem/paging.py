@@ -122,10 +122,24 @@ class AddressSpace:
         self._huge_pages[hpn] = base_frame
         return base_frame
 
-    def unmap_page(self, vaddr: int) -> None:
+    def unmap_page(self, vaddr: int, *, free_frame: bool = True) -> PageTableEntry:
+        """Drop the mapping for ``vaddr``'s page; returns the removed PTE.
+
+        ``free_frame=False`` keeps the physical frame (contents intact) so
+        the page can later be re-established with :meth:`restore_page` —
+        the fault injector's unmap-mid-walk / OS-repair hook.
+        """
         vpn = vaddr // self.page_bytes
         entry = self.page_table.unmap(vpn)
-        self.physical.free_frame(entry.frame_number)
+        if free_frame:
+            self.physical.free_frame(entry.frame_number)
+        return entry
+
+    def restore_page(self, vaddr: int, entry: PageTableEntry) -> None:
+        """Re-establish a mapping removed with ``unmap_page(free_frame=False)``."""
+        self.page_table.map(
+            vaddr // self.page_bytes, entry.frame_number, writable=entry.writable
+        )
 
     def is_mapped(self, vaddr: int) -> bool:
         if vaddr // self.HUGE_PAGE_BYTES in self._huge_pages:

@@ -113,6 +113,20 @@ class StatsRegistry:
             self._histograms[full] = Histogram(full)
         return self._histograms[full]
 
+    def fraction(self, numerator: str, *denominators: str) -> float:
+        """``numerator / sum(denominators)``, 0.0 when the total is zero.
+
+        Names are qualified like :meth:`counter`; missing counters count as
+        zero.  Used for derived ratios such as the software-fallback
+        fraction (fallbacks taken / queries executed).
+        """
+        def value(name: str) -> int:
+            counter = self._counters.get(self._qualify(name))
+            return counter.value if counter else 0
+
+        total = sum(value(name) for name in denominators)
+        return value(numerator) / total if total else 0.0
+
     def scoped(self, prefix: str) -> "StatsRegistry":
         """A view that shares storage but prepends ``prefix`` to names."""
         view = StatsRegistry(self._qualify(prefix))

@@ -8,21 +8,148 @@ workloads and experiment drivers need.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from .config import IntegrationScheme, SystemConfig
-from .core.accelerator import QeiAccelerator
+from .config import FallbackConfig, IntegrationScheme, SystemConfig
+from .core.abort import AbortCode
+from .core.accelerator import QeiAccelerator, QueryHandle, QueryRequest, QueryStatus
 from .core.integration import build_integration
 from .core.isa import QueryPort
 from .core.programs import default_firmware
 from .cpu.core import CoreResult, OoOCore
 from .cpu.trace import Trace
 from .datastructs.base import ProcessMemory
+from .errors import MemoryError_
 from .mem.hierarchy import MemoryHierarchy
 from .mem.mmu import Mmu
 from .noc.mesh import MeshNoc
 from .sim.engine import Engine
 from .sim.stats import StatsRegistry
+
+
+@dataclass
+class QueryOutcome:
+    """Final disposition of one query after the fallback policy ran.
+
+    ``accelerated`` is True when the accelerator produced the result;
+    otherwise ``attempts`` software re-executions were made and ``resolved``
+    says whether one of them succeeded within the retry budget.
+    """
+
+    value: Optional[int]
+    accelerated: bool
+    abort_code: AbortCode = AbortCode.NONE
+    attempts: int = 0
+    resolved: bool = True
+    completion_cycle: int = 0
+
+
+class FallbackExecutor:
+    """Software retry path for aborted queries (graceful degradation).
+
+    The accelerator is the fast path; when it aborts a query — corrupted
+    header, broken pointer chain, watchdog, interrupt flush — the runtime
+    re-executes the query on the simulated CPU path after an exponential
+    backoff in simulated cycles, charging everything to the shared engine
+    clock and recording per-abort-code counters plus the fallback fraction.
+    """
+
+    def __init__(
+        self,
+        accelerator: QeiAccelerator,
+        config: Optional[FallbackConfig] = None,
+        *,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.accelerator = accelerator
+        self.engine = accelerator.engine
+        self.config = config or FallbackConfig()
+        self.stats = (stats or StatsRegistry()).scoped("fallback")
+        self._accelerated = self.stats.counter("accelerated")
+        self._taken = self.stats.counter("taken")
+        self._retries = self.stats.counter("retries")
+        self._exhausted = self.stats.counter("exhausted")
+
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        request: QueryRequest,
+        software_fn: Callable[[], Optional[int]],
+        *,
+        before_retry: Optional[Callable[[], None]] = None,
+    ) -> QueryOutcome:
+        """Run ``request`` on the accelerator, falling back to software.
+
+        ``software_fn`` is the CPU-path re-execution of the same query
+        (e.g. :meth:`~repro.workloads.base.QueryWorkload.software_lookup`).
+        ``before_retry`` runs once before the first software attempt — the
+        hook where a campaign heals injected damage, modelling the OS
+        repairing the faulting structure.
+        """
+        handle = self.accelerator.submit(request, self.engine.now)
+        try:
+            self.accelerator.wait_for(handle)
+        except MemoryError_:
+            # A fault escaping the accelerator means the submission path
+            # itself touched bad memory; treat it like an aborted query.
+            handle.status = QueryStatus.FAULT
+            handle.abort_code = AbortCode.FAULT
+        if handle.status in (QueryStatus.FOUND, QueryStatus.NOT_FOUND):
+            self._accelerated.add()
+            return QueryOutcome(
+                value=handle.value,
+                accelerated=True,
+                completion_cycle=handle.completion_cycle or self.engine.now,
+            )
+        return self.run_software(
+            software_fn, abort_code=handle.abort_code, before_retry=before_retry
+        )
+
+    def run_software(
+        self,
+        software_fn: Callable[[], Optional[int]],
+        *,
+        abort_code: AbortCode = AbortCode.NONE,
+        before_retry: Optional[Callable[[], None]] = None,
+    ) -> QueryOutcome:
+        """The retry loop alone (for queries already known to have aborted)."""
+        self._taken.add()
+        if abort_code.is_abort:
+            self.stats.counter(f"abort.{abort_code.name.lower()}").add()
+        if before_retry is not None:
+            before_retry()
+        wait = self.config.backoff_cycles
+        for attempt in range(1, self.config.max_retries + 1):
+            self._retries.add()
+            self.engine.advance(wait)
+            wait *= self.config.backoff_multiplier
+            try:
+                value = software_fn()
+            except MemoryError_:
+                continue  # damage not repaired yet; back off and retry
+            return QueryOutcome(
+                value=value,
+                accelerated=False,
+                abort_code=abort_code,
+                attempts=attempt,
+                completion_cycle=self.engine.now,
+            )
+        self._exhausted.add()
+        return QueryOutcome(
+            value=None,
+            accelerated=False,
+            abort_code=abort_code,
+            attempts=self.config.max_retries,
+            resolved=False,
+            completion_cycle=self.engine.now,
+        )
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of executed queries that needed the software path."""
+        return self.stats.fraction("taken", "taken", "accelerated")
 
 
 class System:
@@ -82,6 +209,10 @@ class System:
             self.space,
             qst_entries=self.config.effective_qst_entries(self.scheme),
             stats=self.stats,
+            watchdog_steps=self.config.qei.watchdog_steps,
+        )
+        self.fallback = FallbackExecutor(
+            self.accelerator, self.config.fallback, stats=self.stats
         )
 
     # ------------------------------------------------------------------ #

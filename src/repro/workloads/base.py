@@ -116,6 +116,18 @@ class QueryWorkload:
         """Emit the baseline routine for query ``index``; returns its value."""
         raise NotImplementedError
 
+    def software_lookup(self, index: int) -> Optional[int]:
+        """Functionally re-execute query ``index`` on the CPU path.
+
+        This is the fallback executor's retry body: the same lookup the
+        baseline trace models, run directly against the live simulated
+        structure (so it observes any damage — or repair — the structure
+        has seen since build time).  No timing is charged here; the
+        :class:`~repro.system.FallbackExecutor` accounts for the retry cost
+        via its backoff budget.
+        """
+        raise NotImplementedError
+
     # ----------------- provided machinery ------------------------------ #
 
     def _register_queries(

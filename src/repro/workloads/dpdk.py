@@ -73,3 +73,6 @@ class DpdkFibWorkload(QueryWorkload):
         return self.table.emit_lookup(
             builder, self._query_addrs[index], self._queries[index]
         )
+
+    def software_lookup(self, index: int):
+        return self.table.lookup(self._queries[index])

@@ -95,3 +95,6 @@ class FlannLshWorkload(QueryWorkload):
         return table.emit_lookup(
             builder, self._query_addrs[index], self._queries[index]
         )
+
+    def software_lookup(self, index: int):
+        return self.tables[self._probe_tables[index]].lookup(self._queries[index])

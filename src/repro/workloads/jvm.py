@@ -72,6 +72,9 @@ class JvmGcWorkload(QueryWorkload):
             builder, self._query_addrs[index], self._queries[index]
         )
 
+    def software_lookup(self, index: int):
+        return self.tree.lookup(self._queries[index])
+
     def mean_path_depth(self) -> float:
         """Average root-to-object path length of the query stream."""
         depths = [self.tree.depth_of(q) for q in self._queries]

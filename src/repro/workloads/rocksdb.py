@@ -73,3 +73,6 @@ class RocksDbWorkload(QueryWorkload):
         return self.memtable.emit_lookup(
             builder, self._query_addrs[index], self._queries[index]
         )
+
+    def software_lookup(self, index: int):
+        return self.memtable.lookup(self._queries[index])

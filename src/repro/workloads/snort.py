@@ -94,3 +94,6 @@ class SnortWorkload(QueryWorkload):
             builder, self._query_addrs[index], self._queries[index]
         )
         return len(matches)
+
+    def software_lookup(self, index: int):
+        return len(self.automaton.match(self._queries[index]))

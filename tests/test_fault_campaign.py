@@ -1,0 +1,54 @@
+"""The fault campaign driver: determinism, coverage, CLI plumbing."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import fault_campaign
+
+
+class TestCampaign:
+    def test_small_campaign_holds_invariant_and_reproduces(self):
+        result = fault_campaign(seed=11, faults=40, repeats=2)
+        assert result.experiment == "fault-campaign"
+        assert sum(r["count"] for r in result.rows) == 40
+        assert any("reproduced identically" in n for n in result.notes)
+        # Abort outcomes and fallback coverage actually happened.
+        outcomes = {r["outcome"] for r in result.rows}
+        assert any(o.startswith("abort.") for o in outcomes)
+
+    def test_workload_filter(self):
+        result = fault_campaign(
+            seed=5, faults=15, repeats=1, workloads=["dpdk"], schemes=["cha-tlb"]
+        )
+        assert sum(r["count"] for r in result.rows) == 15
+
+    def test_unknown_workload_rejected(self):
+        from repro.analysis import CampaignViolation
+
+        with pytest.raises(CampaignViolation):
+            fault_campaign(seed=1, faults=1, workloads=["nope"])
+
+    def test_same_seed_same_vector(self):
+        a = fault_campaign(seed=21, faults=25, repeats=1, schemes=["cha-tlb"])
+        b = fault_campaign(seed=21, faults=25, repeats=1, schemes=["cha-tlb"])
+        assert a.rows == b.rows
+
+
+class TestCli:
+    def test_fault_campaign_verb(self, capsys):
+        rc = main(
+            [
+                "fault-campaign",
+                "--seed",
+                "3",
+                "--faults",
+                "20",
+                "--repeats",
+                "1",
+                "--workloads",
+                "jvm",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault-campaign" in out and "outcome" in out
