@@ -1,0 +1,90 @@
+"""Serving-tier benchmark: throughput-vs-p99 across the integration schemes.
+
+Sweeps offered load per scheme and prints the throughput-vs-tail-latency
+curve a capacity planner would read off, then pins the headline claim:
+coalescing admitted requests into QUERY_NB bursts sustains strictly more
+throughput than per-request blocking submission at the same offered load.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.serve import MODE_BATCHED, MODE_BLOCKING, run_serving
+from repro.serve.driver import SCHEME_ORDER
+
+#: Offered loads swept per scheme (queries/cycle/tenant).
+LOADS = [0.005, 0.01, 0.02]
+
+
+def throughput_curve(quick: bool) -> ExperimentResult:
+    requests = 600 if quick else 4000
+    result = ExperimentResult(
+        "serve-curve",
+        f"throughput vs p99, {requests} requests x 4 tenants per point",
+        ["scheme", "offered_load", "completed", "rejected", "p50", "p99", "qps"],
+    )
+    for scheme in SCHEME_ORDER:
+        for load in LOADS:
+            report = run_serving(
+                scheme, requests=requests, seed=7, offered_load=load
+            )
+            aggregate = report.aggregate
+            result.add_row(
+                scheme=scheme,
+                offered_load=load,
+                completed=aggregate["completed"],
+                rejected=aggregate["rejected"],
+                p50=aggregate["p50"],
+                p99=aggregate["p99"],
+                qps=aggregate["qps"],
+            )
+    return result
+
+
+@pytest.mark.figure
+def test_throughput_vs_p99_curve(run_once, quick):
+    result = run_once(throughput_curve, quick)
+    print()
+    print(result.format())
+    for scheme in SCHEME_ORDER:
+        points = [row for row in result.rows if row["scheme"] == scheme]
+        assert len(points) == len(LOADS)
+        for row in points:
+            assert row["completed"] > 0
+            assert 0 < row["p50"] <= row["p99"]
+        # More offered load must buy more served throughput on the curve's
+        # swept range (the batcher absorbs it; nothing saturates yet).
+        assert points[-1]["qps"] > points[0]["qps"]
+
+
+def batched_vs_blocking(quick: bool):
+    requests = 600 if quick else 4000
+    load = 0.02
+    runs = {}
+    for mode in (MODE_BATCHED, MODE_BLOCKING):
+        report = run_serving(
+            "cha-tlb", requests=requests, seed=7, mode=mode, offered_load=load
+        )
+        runs[mode] = report.aggregate
+    return runs
+
+
+@pytest.mark.figure
+def test_batched_beats_blocking_at_equal_offered_load(run_once, quick):
+    runs = run_once(batched_vs_blocking, quick)
+    batched, blocking = runs[MODE_BATCHED], runs[MODE_BLOCKING]
+    print()
+    print(
+        f"\nbatched : qps={batched['qps']:.3e} p99={batched['p99']:.0f} "
+        f"rejected={batched['rejected']}"
+        f"\nblocking: qps={blocking['qps']:.3e} p99={blocking['p99']:.0f} "
+        f"rejected={blocking['rejected']}"
+    )
+    # The tentpole claim: QUERY_NB bursts overlap queries in the QST, so the
+    # batched tier serves the same offered load with far more throughput and
+    # a lower tail than one blocking QUERY_B per tenant at a time.
+    assert batched["qps"] > 1.5 * blocking["qps"]
+    assert batched["p99"] < blocking["p99"]
+    assert batched["rejected"] <= blocking["rejected"]
+    assert batched["result_errors"] == 0
+    assert blocking["result_errors"] == 0

@@ -14,7 +14,13 @@ Public entry points:
 * :mod:`repro.analysis` — one driver per paper figure/table.
 """
 
-from .config import IntegrationScheme, QeiConfig, SystemConfig, small_config
+from .config import (
+    IntegrationScheme,
+    QeiConfig,
+    ServeConfig,
+    SystemConfig,
+    small_config,
+)
 from .errors import ReproError
 
 __version__ = "1.0.0"
@@ -23,6 +29,7 @@ __all__ = [
     "IntegrationScheme",
     "QeiConfig",
     "ReproError",
+    "ServeConfig",
     "SystemConfig",
     "small_config",
     "__version__",

@@ -1,13 +1,16 @@
 """Command-line interface: ``python -m repro <experiment> [options]``.
 
-Regenerates any paper table/figure or ablation from the shell::
+Also installed as the ``qei`` console script.  Regenerates any paper
+table/figure, ablation, or serving run from the shell::
 
-    python -m repro list
-    python -m repro fig7 --workloads dpdk jvm
-    python -m repro tab3
-    python -m repro ablation-qst --full
+    qei list
+    qei fig7 --workloads dpdk jvm
+    qei tab3
+    qei ablation-qst --full
+    qei serve --scheme cha-tlb --tenants 4 --requests 20000
 
 Results print as the same fixed-width tables the benchmark harness shows.
+Unknown experiment names exit with status 2 and a one-line hint.
 """
 
 from __future__ import annotations
@@ -41,6 +44,8 @@ from .analysis.ablations import (
 from .analysis.fault_campaign import fault_campaign
 from .analysis.interference import corun_interference
 from .analysis.scalability import scalability_study
+from .config import IntegrationScheme
+from .serve import serve_experiment
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": fig1_profiling,
@@ -64,6 +69,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "scalability": scalability_study,
     "interference": corun_interference,
     "fault-campaign": fault_campaign,
+    "serve": serve_experiment,
 }
 
 #: Experiments that accept quick/full and workload filters.
@@ -77,6 +83,8 @@ TAKES_QUICK = {
 TAKES_WORKLOADS = {"fig1", "fig7", "fig8", "fig9", "fig11", "fig12", "fault-campaign"}
 #: Experiments driven by an explicit seed / fault budget.
 TAKES_SEEDED = {"fault-campaign"}
+#: Experiments driven by the serving-tier options.
+TAKES_SERVE = {"serve"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,7 +94,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
         help="experiment id, 'list' to enumerate, or 'all' to run everything",
     )
     parser.add_argument(
@@ -123,6 +130,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="fault-campaign: determinism re-runs of the campaign (default 2)",
     )
+    parser.add_argument(
+        "--scheme",
+        choices=[s.value for s in IntegrationScheme],
+        help="serve: run one integration scheme (default: all five)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="serve: tenant request streams (default 4)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=2000,
+        help="serve: total request budget across tenants (default 2000)",
+    )
+    parser.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="serve: fixed-concurrency clients instead of Poisson arrivals",
+    )
     return parser
 
 
@@ -137,6 +166,13 @@ def run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["seed"] = args.seed
         kwargs["faults"] = args.faults
         kwargs["repeats"] = args.repeats
+    if name in TAKES_SERVE:
+        kwargs["tenants"] = args.tenants
+        kwargs["requests"] = args.requests
+        kwargs["seed"] = args.seed
+        kwargs["closed_loop"] = args.closed_loop
+        if args.scheme:
+            kwargs["schemes"] = [args.scheme]
     result = driver(**kwargs)
     if args.json:
         import json
@@ -169,6 +205,13 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             run_one(name, args)
         return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "run 'python -m repro list' to see the available experiments",
+            file=sys.stderr,
+        )
+        return 2
     run_one(args.experiment, args)
     return 0
 

@@ -218,6 +218,67 @@ class FallbackConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """The cloud serving tier in front of the accelerator (docs/serving.md).
+
+    A :class:`~repro.serve.QueryServer` admits per-tenant request streams
+    into bounded queues, coalesces admitted requests into QUERY_NB bursts
+    routed to their home accelerator, and tracks per-tenant latency against
+    an SLO budget.  All knobs are in simulated core cycles.
+    """
+
+    #: Number of tenant request streams (each mapped to a submitting core).
+    tenants: int = 4
+    #: Bounded per-tenant admission queue; arrivals beyond this are rejected
+    #: with a retry-after hint (backpressure when the QST is saturated).
+    queue_depth: int = 64
+    #: Requests coalesced into one QUERY_NB burst per home slice.
+    batch_size: int = 8
+    #: A partial batch is flushed after waiting this long for company.
+    batch_timeout_cycles: int = 256
+    #: Dispatch window: requests in service at once (0 = QST capacity).
+    max_in_flight: int = 0
+    #: Base retry-after hint returned with a rejection.
+    retry_after_cycles: int = 512
+    #: Per-tenant SLO: the p99 latency budget in cycles.
+    slo_p99_cycles: int = 50_000
+    #: Open-loop offered load per tenant, in queries per cycle (Poisson).
+    offered_load: float = 0.004
+    #: Closed-loop clients per tenant (outstanding requests).
+    concurrency: int = 8
+    #: Closed-loop think time between a completion and the next request.
+    think_cycles: int = 128
+    #: Closed-loop admission retries before a request is counted failed.
+    max_admission_attempts: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tenants <= 0:
+            raise ConfigurationError("serve tenants must be positive")
+        if self.queue_depth <= 0:
+            raise ConfigurationError("serve queue_depth must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("serve batch_size must be positive")
+        if self.batch_timeout_cycles < 0:
+            raise ConfigurationError("serve batch_timeout_cycles must be >= 0")
+        if self.max_in_flight < 0:
+            raise ConfigurationError("serve max_in_flight must be >= 0")
+        if self.retry_after_cycles <= 0:
+            raise ConfigurationError("serve retry_after_cycles must be positive")
+        if self.slo_p99_cycles <= 0:
+            raise ConfigurationError("serve slo_p99_cycles must be positive")
+        if self.offered_load <= 0:
+            raise ConfigurationError("serve offered_load must be positive")
+        if self.concurrency <= 0:
+            raise ConfigurationError("serve concurrency must be positive")
+        if self.think_cycles < 0:
+            raise ConfigurationError("serve think_cycles must be >= 0")
+        if self.max_admission_attempts <= 0:
+            raise ConfigurationError(
+                "serve max_admission_attempts must be positive"
+            )
+
+
+@dataclass(frozen=True)
 class SchemeLatencyConfig:
     """Round-trip latencies from Table I, in core cycles."""
 
@@ -252,6 +313,7 @@ class SystemConfig:
     noc: NocConfig = field(default_factory=NocConfig)
     qei: QeiConfig = field(default_factory=QeiConfig)
     fallback: FallbackConfig = field(default_factory=FallbackConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
     scheme_latencies: dict = field(
         default_factory=lambda: dict(DEFAULT_SCHEME_LATENCIES)
     )

@@ -159,8 +159,15 @@ class QeiAccelerator:
     # Submission (driven by the QUERY instructions)
     # ------------------------------------------------------------------ #
 
-    def submit(self, request: QueryRequest, issue_cycle: int) -> QueryHandle:
-        """Issue a query at ``issue_cycle`` (clamped to engine time)."""
+    def submit(
+        self, request: QueryRequest, issue_cycle: int, *, burst_offset: int = 0
+    ) -> QueryHandle:
+        """Issue a query at ``issue_cycle`` (clamped to engine time).
+
+        ``burst_offset`` positions the request inside a multi-query burst
+        (see :meth:`submit_batch`): it arrives that many cycles behind the
+        burst head, modelling back-to-back streaming over one doorbell.
+        """
         handle = QueryHandle(request, submit_cycle=issue_cycle)
         try:
             home = self.integration.home_node(
@@ -178,14 +185,42 @@ class QeiAccelerator:
                 lambda: self._submit_fault(handle, detail, code),
             )
             return handle
-        arrival = max(self.engine.now, issue_cycle) + self.integration.submit_latency(
-            request.core_id, home
+        arrival = (
+            max(self.engine.now, issue_cycle)
+            + self.integration.submit_latency(request.core_id, home)
+            + burst_offset
         )
         handle._home = home  # type: ignore[attr-defined]
         self.engine.schedule_at(
             max(arrival, self.engine.now), lambda: self._arrive(handle)
         )
         return handle
+
+    def submit_batch(
+        self, requests: List[QueryRequest], issue_cycle: int
+    ) -> List[QueryHandle]:
+        """Issue a burst of queries behind one doorbell write.
+
+        The core-accelerator submit latency is paid once by the burst head;
+        the remaining requests stream in back to back, one per cycle — the
+        serving tier's batched QUERY_NB path (Sec. IV-A's non-blocking mode
+        driven at cloud request rates).
+        """
+        self.stats.counter("batches.submitted").add()
+        self.stats.histogram("batch.size").record(len(requests))
+        return [
+            self.submit(request, issue_cycle, burst_offset=offset)
+            for offset, request in enumerate(requests)
+        ]
+
+    def poll(self, handles: List[QueryHandle]) -> List[QueryHandle]:
+        """The completed subset of ``handles`` (non-blocking status check)."""
+        return [handle for handle in handles if handle.done]
+
+    @property
+    def in_flight(self) -> int:
+        """Queries accepted into the QST plus overflow-queued submissions."""
+        return len(self._entry_handles) + len(self._query_queue)
 
     def _submit_fault(self, handle: QueryHandle, detail: str, code: AbortCode) -> None:
         """Abort a query that never made it past submission."""

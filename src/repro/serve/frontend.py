@@ -1,0 +1,116 @@
+"""Multi-tenant request frontend: bounded admission queues + backpressure.
+
+The frontend is the first stop on the serving path: every tenant gets a
+bounded FIFO admission queue, and arrivals that find their queue full are
+rejected with a *retry-after* hint instead of being buffered without bound.
+Because the dispatcher only drains queues while the accelerator has QST
+capacity, a saturated QST propagates backpressure naturally: queues fill,
+then new arrivals bounce.  A ``saturated`` hook lets the server (or a test)
+additionally shed load on a global signal.
+
+Admitted requests leave through :meth:`Frontend.next_request`, which scans
+tenant queues round-robin so one hot tenant cannot starve the others.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from ..config import ServeConfig
+from ..sim.stats import StatsRegistry
+
+
+@dataclass
+class ServeRequest:
+    """One tenant request travelling through the serving tier."""
+
+    tenant: int
+    #: Which query of the workload's stream this request executes.
+    index: int
+    request_id: int
+    #: Cycle the request was generated (latency is measured from here,
+    #: so queueing, batching and fallback delays all count against the SLO).
+    arrival_cycle: int
+    attempts: int = 1
+    admit_cycle: Optional[int] = None
+    dispatch_cycle: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The frontend's verdict on one arrival."""
+
+    admitted: bool
+    #: Cycles the client should wait before re-offering (rejections only).
+    retry_after: int = 0
+
+
+class Frontend:
+    """Per-tenant bounded admission queues with round-robin drain."""
+
+    #: Extra retry-after cycles charged per request already queued, so the
+    #: hint grows with the backlog the rejected client would join.
+    RETRY_BACKLOG_CYCLES = 8
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        stats: Optional[StatsRegistry] = None,
+        saturated: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.config = config
+        self.stats = (stats or StatsRegistry()).scoped("serve.frontend")
+        self._queues: List[Deque[ServeRequest]] = [
+            deque() for _ in range(config.tenants)
+        ]
+        self._rr = 0
+        self._saturated = saturated or (lambda: False)
+        self._offered = self.stats.counter("offered")
+        self._admitted = self.stats.counter("admitted")
+        self._rejected = self.stats.counter("rejected")
+        self._queue_delay = self.stats.sketch("queue.delay")
+
+    # ------------------------------------------------------------------ #
+
+    def offer(self, request: ServeRequest, now: int) -> Admission:
+        """Admit ``request`` or reject it with a retry-after hint."""
+        self._offered.add()
+        queue = self._queues[request.tenant]
+        if len(queue) >= self.config.queue_depth or self._saturated():
+            self._rejected.add()
+            self.stats.counter(f"tenant{request.tenant}.rejected").add()
+            retry_after = (
+                self.config.retry_after_cycles
+                + self.RETRY_BACKLOG_CYCLES * len(queue)
+            )
+            return Admission(False, retry_after)
+        request.admit_cycle = now
+        queue.append(request)
+        self._admitted.add()
+        return Admission(True)
+
+    def next_request(self, now: int) -> Optional[ServeRequest]:
+        """Pop the next admitted request, round-robin across tenants."""
+        tenants = len(self._queues)
+        for offset in range(tenants):
+            queue = self._queues[(self._rr + offset) % tenants]
+            if queue:
+                self._rr = (self._rr + offset + 1) % tenants
+                request = queue.popleft()
+                assert request.admit_cycle is not None
+                self._queue_delay.record(now - request.admit_cycle)
+                return request
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return sum(len(queue) for queue in self._queues)
+
+    def queue_depth_of(self, tenant: int) -> int:
+        return len(self._queues[tenant])

@@ -1,0 +1,287 @@
+"""The query server: frontend -> batcher -> accelerator -> SLO tracker.
+
+:class:`QueryServer` is the serving loop that real cloud traffic would
+drive.  It is built *on top of* the :class:`~repro.system.System` facade:
+the accelerator, fallback executor and event engine are the system's own,
+so everything the fault campaign hardened (abort codes, watchdog, software
+fallback) holds unchanged under load.
+
+Two service disciplines are modelled:
+
+* ``batched`` — admitted requests are coalesced into QUERY_NB bursts per
+  home slice (the paper's non-blocking mode at cloud request rates); up to
+  ``max_in_flight`` requests overlap in the QST.
+* ``blocking`` — one QUERY_B per tenant at a time, the naive RPC-handler
+  port of the ROI loop.  This is the baseline the throughput-vs-p99 curve
+  in ``benchmarks/test_serving.py`` compares against.
+
+Aborted queries flow through the system's :class:`FallbackExecutor`: the
+software path re-executes the query, its backoff cycles are charged to the
+shared clock, and the request's latency includes the whole detour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..config import ServeConfig
+from ..core.accelerator import QueryHandle, QueryRequest, QueryStatus
+from ..errors import ReproError
+from ..sim.stats import StatsRegistry
+from ..system import System
+from .batcher import Batcher
+from .frontend import Frontend, ServeRequest
+from .loadgen import LoadGenerator
+from .slo import ServingReport, SloTracker
+
+#: Service disciplines.
+MODE_BATCHED = "batched"
+MODE_BLOCKING = "blocking"
+
+#: Safety valve: engine steps the serving loop may take without resolving a
+#: request before it declares the run wedged.
+_STALL_GUARD_STEPS = 50_000_000
+
+
+class ServingError(ReproError):
+    """The serving loop wedged or was misconfigured."""
+
+
+class QueryServer:
+    """Multi-tenant serving tier over one simulated machine."""
+
+    def __init__(
+        self,
+        system: System,
+        workload,
+        config: Optional[ServeConfig] = None,
+        *,
+        mode: str = MODE_BATCHED,
+        seed: int = 7,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if mode not in (MODE_BATCHED, MODE_BLOCKING):
+            raise ServingError(
+                f"unknown serving mode {mode!r}; expected "
+                f"{MODE_BATCHED!r} or {MODE_BLOCKING!r}"
+            )
+        self.system = system
+        self.workload = workload
+        self.config = config or system.config.serve
+        self.mode = mode
+        self.seed = seed
+        self.engine = system.engine
+        self.accelerator = system.accelerator
+        self.stats = stats or system.stats
+        self._serve_stats = self.stats.scoped("serve")
+
+        if self.mode == MODE_BLOCKING:
+            # One synchronous request per tenant thread.
+            self.limit = self.config.tenants
+        else:
+            self.limit = self.config.max_in_flight or system.config.effective_qst_entries(
+                system.scheme
+            )
+        self.frontend = Frontend(self.config, stats=self.stats)
+        self.batcher = Batcher(
+            system, self.config, stats=self.stats, on_done=self._on_done
+        )
+        self.slo = SloTracker(
+            self.config,
+            stats=self.stats,
+            frequency_ghz=system.config.core.frequency_ghz,
+        )
+        #: Recycled 16B result records for the non-blocking path; the pool is
+        #: sized to the dispatch window, so a slot is always free at dispatch.
+        self._slots: List[int] = [
+            system.mem.alloc(16, align=16) for _ in range(self.limit)
+        ]
+        self._slot_of: Dict[int, int] = {}  # request_id*tenants+tenant -> slot
+        self._generators: List[LoadGenerator] = []
+        self._generators_by_tenant: Dict[int, LoadGenerator] = {}
+        self._completions: Deque[Tuple[ServeRequest, QueryHandle]] = deque()
+        self._outstanding = 0
+        self._tenant_outstanding = [0] * self.config.tenants
+        self._dispatched = self._serve_stats.counter("dispatched")
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, generator: LoadGenerator) -> None:
+        """Register one tenant's load generator (exactly one per tenant)."""
+        if generator.tenant >= self.config.tenants:
+            raise ServingError(
+                f"generator tenant {generator.tenant} outside the configured "
+                f"{self.config.tenants} tenants"
+            )
+        if generator.tenant in self._generators_by_tenant:
+            raise ServingError(
+                f"tenant {generator.tenant} already has a generator attached"
+            )
+        generator.bind(self)
+        self._generators.append(generator)
+        self._generators_by_tenant[generator.tenant] = generator
+
+    def core_of(self, tenant: int) -> int:
+        """The core a tenant's requests submit from."""
+        return tenant % self.system.config.num_cores
+
+    # ------------------------------------------------------------------ #
+    # Admission (called by load generators)
+    # ------------------------------------------------------------------ #
+
+    def accept(self, generator: LoadGenerator, request: ServeRequest) -> bool:
+        admission = self.frontend.offer(request, self.engine.now)
+        if not admission.admitted:
+            self.slo.record_rejection(request.tenant)
+            generator.on_rejected(request, admission.retry_after)
+            return False
+        self._dispatch()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _in_service(self) -> int:
+        return self._outstanding
+
+    def _dispatch(self) -> None:
+        while self._outstanding < self.limit:
+            request = self.frontend.next_request(self.engine.now)
+            if request is None:
+                return
+            self._outstanding += 1
+            self._tenant_outstanding[request.tenant] += 1
+            self._dispatched.add()
+            if self.mode == MODE_BLOCKING:
+                self._submit_blocking(request)
+            else:
+                self.batcher.add(request, self._prepare_nb(request))
+
+    def _key(self, request: ServeRequest) -> int:
+        return request.request_id * self.config.tenants + request.tenant
+
+    def _prepare_nb(self, request: ServeRequest) -> QueryRequest:
+        slot = self._slots.pop()
+        self._slot_of[self._key(request)] = slot
+        return QueryRequest(
+            header_addr=self.workload.header_addr_for(request.index),
+            key_addr=self.workload._query_addrs[request.index],
+            core_id=self.core_of(request.tenant),
+            blocking=False,
+            result_addr=slot,
+        )
+
+    def _submit_blocking(self, request: ServeRequest) -> None:
+        request.dispatch_cycle = self.engine.now
+        handle = self.accelerator.submit(
+            QueryRequest(
+                header_addr=self.workload.header_addr_for(request.index),
+                key_addr=self.workload._query_addrs[request.index],
+                core_id=self.core_of(request.tenant),
+                blocking=True,
+            ),
+            self.engine.now,
+        )
+        handle.on_done(lambda h, s=request: self._on_done(s, h))
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+
+    def _on_done(self, request: ServeRequest, handle: QueryHandle) -> None:
+        # Runs inside an engine event; defer the heavy lifting (fallback
+        # execution mutates engine time) to the driving loop.
+        self._completions.append((request, handle))
+
+    def _resolve(self, request: ServeRequest, handle: QueryHandle) -> None:
+        tenant = request.tenant
+        if handle.status in (QueryStatus.FOUND, QueryStatus.NOT_FOUND):
+            completion = handle.completion_cycle or self.engine.now
+            self.slo.record_completion(
+                tenant, completion - request.arrival_cycle, accelerated=True
+            )
+            if handle.value != self.workload.expected[request.index]:
+                self.slo.record_error()
+        else:
+            # Aborted under load: the PR-1 contract routes the query through
+            # the system's software-fallback executor, on the shared clock.
+            outcome = self.system.fallback.run_software(
+                lambda idx=request.index: self.workload.software_lookup(idx),
+                abort_code=handle.abort_code,
+            )
+            self.slo.record_completion(
+                tenant,
+                outcome.completion_cycle - request.arrival_cycle,
+                accelerated=False,
+            )
+            if not outcome.resolved:
+                self.slo.record_failure(tenant)
+            elif outcome.value != self.workload.expected[request.index]:
+                self.slo.record_error()
+        key = self._key(request)
+        slot = self._slot_of.pop(key, None)
+        if slot is not None:
+            self._slots.append(slot)
+        self._outstanding -= 1
+        self._tenant_outstanding[tenant] -= 1
+        self._generators_by_tenant[tenant].on_resolved(request)
+
+    def _drain_completions(self) -> None:
+        while self._completions:
+            request, handle = self._completions.popleft()
+            self._resolve(request, handle)
+
+    # ------------------------------------------------------------------ #
+    # The serving loop
+    # ------------------------------------------------------------------ #
+
+    def _finished(self) -> bool:
+        return (
+            all(generator.finished for generator in self._generators)
+            and not self._outstanding
+            and not self.frontend.pending
+            and not self._completions
+        )
+
+    def run(self) -> ServingReport:
+        """Drive the run to completion and return the serving report."""
+        if len(self._generators) != self.config.tenants:
+            raise ServingError(
+                f"{len(self._generators)} generators attached for "
+                f"{self.config.tenants} tenants; attach exactly one each"
+            )
+        start = self.engine.now
+        for generator in self._generators:
+            generator.start()
+        steps = 0
+        while not self._finished():
+            progressed = self.engine.step()
+            self._drain_completions()
+            self._dispatch()
+            if not progressed:
+                if self._finished():
+                    break
+                # No events left but requests are parked in open bursts
+                # (their flush timers cancelled by nothing — e.g. a zero
+                # batch timeout): force them out and continue.
+                if self.batcher.flush_all():
+                    continue
+                raise ServingError(
+                    "serving loop stalled: no events pending but "
+                    f"{self._outstanding} requests outstanding, "
+                    f"{self.frontend.pending} queued"
+                )
+            steps += 1
+            if steps > _STALL_GUARD_STEPS:
+                raise ServingError("serving loop exceeded its step guard")
+        elapsed = self.engine.now - start
+        return self.slo.report(
+            scheme=self.system.scheme.value,
+            mode=self.mode,
+            seed=self.seed,
+            elapsed_cycles=elapsed,
+        )

@@ -6,6 +6,13 @@ plain objects that schedule callbacks on a shared :class:`Engine`.
 """
 
 from .engine import Engine, Event
-from .stats import Counter, Histogram, StatsRegistry
+from .stats import Counter, Histogram, PercentileSketch, StatsRegistry
 
-__all__ = ["Engine", "Event", "Counter", "Histogram", "StatsRegistry"]
+__all__ = [
+    "Engine",
+    "Event",
+    "Counter",
+    "Histogram",
+    "PercentileSketch",
+    "StatsRegistry",
+]

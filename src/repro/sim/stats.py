@@ -85,8 +85,175 @@ class Histogram:
         )
 
 
+class PercentileSketch:
+    """A mergeable log-bucketed quantile sketch (DDSketch/HDR style).
+
+    :class:`Histogram` keeps every sample, which is fine for a few thousand
+    ROI latencies but not for a serving tier recording one latency per
+    request.  The sketch folds non-negative values into geometric buckets of
+    relative width ``2 * relative_error``, so any quantile estimate ``q̂``
+    satisfies ``|q̂ - q| <= q * relative_error / (1 - relative_error)``
+    against the nearest-rank quantile ``q`` of the raw samples, in O(1)
+    memory per decade of dynamic range.
+
+    Merging two sketches adds their bucket counts, so merge is exact,
+    commutative and associative — per-tenant sketches roll up into fleet
+    aggregates without re-recording.
+    """
+
+    __slots__ = (
+        "name",
+        "relative_error",
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_low_count",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+    )
+
+    DEFAULT_RELATIVE_ERROR = 0.01
+
+    def __init__(
+        self, name: str, relative_error: float = DEFAULT_RELATIVE_ERROR
+    ) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError(
+                f"relative_error must be in (0, 1), got {relative_error}"
+            )
+        self.name = name
+        self.relative_error = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._low_count = 0  # values in [0, 1): below bucket resolution
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"sketch values must be non-negative, got {value}")
+        self._count += 1
+        self._total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value < 1.0:
+            self._low_count += 1
+            return
+        index = int(math.floor(math.log(value) / self._log_gamma))
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def reset(self) -> None:
+        self._buckets.clear()
+        self._low_count = 0
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    def quantile(self, pct: float) -> float:
+        """Nearest-rank quantile estimate; ``pct`` in [0, 100]."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {pct}")
+        if not self._count:
+            return 0.0
+        rank = max(1, math.ceil(pct / 100.0 * self._count))
+        cumulative = self._low_count
+        if rank <= cumulative:
+            # Sub-unit values are stored exactly enough: they all round to
+            # the [0, 1) band, whose representative is its midpoint.
+            return min(max(0.5, self._min), self._max)
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                representative = (
+                    self._gamma ** index * (1.0 + self._gamma) / 2.0
+                )
+                return min(max(representative, self._min), self._max)
+        return self._max  # float round-off guard; cannot be reached exactly
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(99.0)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(99.9)
+
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "PercentileSketch") -> "PercentileSketch":
+        """Fold ``other``'s samples into this sketch (in place)."""
+        if abs(other.relative_error - self.relative_error) > 1e-12:
+            raise ValueError(
+                "cannot merge sketches with different relative errors: "
+                f"{self.relative_error} vs {other.relative_error}"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._low_count += other._low_count
+        self._count += other._count
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical (JSON-stable) serialization of the sketch state."""
+        return {
+            "count": self._count,
+            "total": self._total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "low": self._low_count,
+            "buckets": {str(i): self._buckets[i] for i in sorted(self._buckets)},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PercentileSketch({self.name}: n={self._count}, "
+            f"p50={self.p50:.1f}, p99={self.p99:.1f})"
+        )
+
+
 class StatsRegistry:
-    """Hierarchical named counters and histograms.
+    """Hierarchical named counters, histograms and percentile sketches.
 
     Names are dotted paths such as ``"l2.misses"`` or ``"qei.uops.compare"``.
     """
@@ -95,6 +262,7 @@ class StatsRegistry:
         self.prefix = prefix
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._sketches: Dict[str, PercentileSketch] = {}
 
     def _qualify(self, name: str) -> str:
         return f"{self.prefix}.{name}" if self.prefix else name
@@ -112,6 +280,17 @@ class StatsRegistry:
         if full not in self._histograms:
             self._histograms[full] = Histogram(full)
         return self._histograms[full]
+
+    def sketch(
+        self,
+        name: str,
+        relative_error: float = PercentileSketch.DEFAULT_RELATIVE_ERROR,
+    ) -> PercentileSketch:
+        """Get (or lazily create) the percentile sketch with this name."""
+        full = self._qualify(name)
+        if full not in self._sketches:
+            self._sketches[full] = PercentileSketch(full, relative_error)
+        return self._sketches[full]
 
     def fraction(self, numerator: str, *denominators: str) -> float:
         """``numerator / sum(denominators)``, 0.0 when the total is zero.
@@ -132,14 +311,18 @@ class StatsRegistry:
         view = StatsRegistry(self._qualify(prefix))
         view._counters = self._counters
         view._histograms = self._histograms
+        view._sketches = self._sketches
         return view
 
     def snapshot(self) -> Dict[str, float]:
-        """All counter values (histograms reported as their totals)."""
+        """All counter values (histograms/sketches reported as summaries)."""
         out: Dict[str, float] = {c.name: c.value for c in self._counters.values()}
         for h in self._histograms.values():
             out[f"{h.name}.count"] = h.count
             out[f"{h.name}.total"] = h.total
+        for s in self._sketches.values():
+            out[f"{s.name}.count"] = s.count
+            out[f"{s.name}.total"] = s.total
         return out
 
     def diff(self, before: Dict[str, float]) -> Dict[str, float]:
@@ -153,6 +336,8 @@ class StatsRegistry:
             counter.reset()
         for histogram in self._histograms.values():
             histogram.reset()
+        for sketch in self._sketches.values():
+            sketch.reset()
 
     def items(self) -> Iterator[Tuple[str, float]]:
         yield from sorted(self.snapshot().items())

@@ -244,6 +244,27 @@ class System:
             self.engine.run(until=result.end_cycle)
         return result
 
+    def make_server(
+        self,
+        workload,
+        serve_config=None,
+        *,
+        mode: str = "batched",
+        seed: int = 7,
+    ):
+        """A multi-tenant :class:`~repro.serve.QueryServer` over this machine.
+
+        The server shares this system's engine, accelerator and fallback
+        executor, so aborted queries under load follow the exact same
+        hardened path the fault campaign validates.
+        """
+        from .serve import QueryServer
+
+        return QueryServer(
+            self, workload, serve_config or self.config.serve,
+            mode=mode, seed=seed,
+        )
+
     # ------------------------------------------------------------------ #
 
     def warm_llc(self) -> None:

@@ -147,8 +147,8 @@ class TestCli:
         assert main(["tab2"]) == 0
         assert "simulated CPU model" in capsys.readouterr().out
 
-    def test_unknown_experiment_rejected(self):
+    def test_unknown_experiment_rejected(self, capsys):
         from repro.__main__ import main
 
-        with pytest.raises(SystemExit):
-            main(["not-an-experiment"])
+        assert main(["not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""CLI surface tests: ``python -m repro`` / the ``qei`` console script.
+
+Pins the shell contract: ``list`` enumerates every experiment sorted and
+exits 0, unknown experiment names exit 2 with a one-line hint, the serve
+verb honours its flags, and pyproject.toml installs the ``qei`` entry point.
+"""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_is_sorted_and_exits_zero(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    names = [line.split()[0] for line in out.strip().splitlines()]
+    assert names == sorted(names)
+    assert set(names) == set(EXPERIMENTS)
+    assert "serve" in names
+
+
+def test_unknown_experiment_exits_two_with_one_line_hint(capsys):
+    assert main(["definitely-not-an-experiment"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    lines = captured.err.strip().splitlines()
+    assert len(lines) == 1
+    assert "unknown experiment" in lines[0]
+    assert "list" in lines[0]  # points the user at the enumeration
+
+
+def test_serve_verb_honours_scheme_flag(capsys):
+    code = main(
+        [
+            "serve",
+            "--scheme",
+            "cha-tlb",
+            "--tenants",
+            "2",
+            "--requests",
+            "60",
+            "--seed",
+            "7",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "serve"
+    assert {row["scheme"] for row in payload["rows"]} == {"cha-tlb"}
+    assert any(row["tenant"] == "all" for row in payload["rows"])
+
+
+def test_qei_console_script_is_registered():
+    pyproject = (Path(__file__).resolve().parents[1] / "pyproject.toml").read_text()
+    assert '[project.scripts]' in pyproject
+    assert 'qei = "repro.__main__:main"' in pyproject

@@ -72,3 +72,22 @@ def test_memory_layout_is_reproducible():
         system, workload = build()
         addresses.append(workload.table.table_addr)
     assert addresses[0] == addresses[1]
+
+
+def test_serving_report_is_byte_identical_across_runs():
+    """Two serve runs with the same seed/config dump identical bytes."""
+    from repro.serve import run_serving
+
+    dumps = [
+        run_serving("cha-tlb", tenants=2, requests=150, seed=11).dump()
+        for _ in range(2)
+    ]
+    assert dumps[0] == dumps[1]
+
+
+def test_serving_report_differs_across_seeds():
+    from repro.serve import run_serving
+
+    a = run_serving("cha-tlb", tenants=2, requests=150, seed=11).dump()
+    b = run_serving("cha-tlb", tenants=2, requests=150, seed=12).dump()
+    assert a != b

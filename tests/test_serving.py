@@ -1,0 +1,233 @@
+"""Serving-tier tests: admission control, batching, SLO reports, fallback.
+
+The serving layer (src/repro/serve/) fronts one simulated machine with
+multi-tenant load; these tests pin its contracts — bounded queues reject
+with retry-after hints, partial bursts flush on timeout, saturation turns
+into rejections rather than unbounded buffering, aborted queries resolve
+through the software fallback, and every accelerated result agrees with
+the software oracle.
+"""
+
+import pytest
+
+from repro.config import ServeConfig
+from repro.errors import ConfigurationError
+from repro.serve import (
+    MODE_BLOCKING,
+    Frontend,
+    OpenLoopGenerator,
+    ServeRequest,
+    ServingError,
+    build_serving_system,
+    run_serving,
+    serve_experiment,
+)
+
+
+def request_for(tenant, request_id=1, index=0, arrival=0):
+    return ServeRequest(
+        tenant=tenant, index=index, request_id=request_id, arrival_cycle=arrival
+    )
+
+
+# --------------------------------------------------------------------- #
+# Frontend: bounded admission + backpressure
+# --------------------------------------------------------------------- #
+
+
+def test_frontend_rejects_when_queue_full_with_retry_after():
+    config = ServeConfig(tenants=1, queue_depth=2)
+    frontend = Frontend(config)
+    assert frontend.offer(request_for(0, 1), now=0).admitted
+    assert frontend.offer(request_for(0, 2), now=0).admitted
+    verdict = frontend.offer(request_for(0, 3), now=0)
+    assert not verdict.admitted
+    assert verdict.retry_after == (
+        config.retry_after_cycles + Frontend.RETRY_BACKLOG_CYCLES * 2
+    )
+
+
+def test_frontend_saturated_hook_sheds_load():
+    config = ServeConfig(tenants=1, queue_depth=64)
+    frontend = Frontend(config, saturated=lambda: True)
+    verdict = frontend.offer(request_for(0), now=0)
+    assert not verdict.admitted
+    assert verdict.retry_after >= config.retry_after_cycles
+
+
+def test_frontend_drains_tenants_round_robin():
+    config = ServeConfig(tenants=2, queue_depth=8)
+    frontend = Frontend(config)
+    for request_id in range(1, 4):
+        frontend.offer(request_for(0, request_id), now=0)
+        frontend.offer(request_for(1, request_id), now=0)
+    order = [frontend.next_request(now=1).tenant for _ in range(6)]
+    assert order == [0, 1, 0, 1, 0, 1]
+    assert frontend.next_request(now=2) is None
+    assert frontend.pending == 0
+
+
+def test_serve_config_validation():
+    with pytest.raises(ConfigurationError):
+        ServeConfig(tenants=0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(queue_depth=0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(offered_load=0.0)
+
+
+# --------------------------------------------------------------------- #
+# End-to-end serving runs
+# --------------------------------------------------------------------- #
+
+
+def test_batched_run_reports_correct_results():
+    report = run_serving("cha-tlb", tenants=2, requests=120, seed=7)
+    aggregate = report.aggregate
+    # Open-loop: every generated request either completes or is rejected.
+    assert aggregate["completed"] + aggregate["rejected"] == 120
+    assert aggregate["completed"] > 0
+    assert aggregate["result_errors"] == 0
+    assert aggregate["failed"] == 0
+    assert aggregate["fallback_fraction"] == 0.0
+    assert 0 < aggregate["p50"] <= aggregate["p95"] <= aggregate["p99"]
+    assert aggregate["qps"] > 0
+    assert report.elapsed_cycles > 0
+    for row in report.tenants:
+        assert row["slo_budget_p99"] == ServeConfig.slo_p99_cycles
+        assert row["completed"] + row["rejected"] == 60
+
+
+def test_closed_loop_run_completes():
+    report = run_serving(
+        "core-integrated", tenants=2, requests=80, seed=7, closed_loop=True
+    )
+    assert report.aggregate["completed"] == 80
+    assert report.aggregate["result_errors"] == 0
+
+
+def test_blocking_mode_completes():
+    report = run_serving(
+        "cha-tlb", tenants=2, requests=60, seed=7, mode=MODE_BLOCKING
+    )
+    assert report.mode == MODE_BLOCKING
+    assert report.aggregate["completed"] + report.aggregate["rejected"] == 60
+    assert report.aggregate["result_errors"] == 0
+
+
+def test_saturation_turns_into_rejections():
+    # One request in flight at a time, 4-deep queues, arrivals every ~20
+    # cycles against a ~500-cycle service time: queues fill, then bounce.
+    config = ServeConfig(
+        tenants=2, queue_depth=4, max_in_flight=1, offered_load=0.05
+    )
+    report = run_serving(
+        "cha-tlb", requests=200, seed=7, serve_config=config
+    )
+    assert report.aggregate["rejected"] > 0
+    assert report.aggregate["completed"] > 0
+    assert report.aggregate["completed"] + report.aggregate["rejected"] == 200
+
+
+def test_partial_bursts_flush_on_timeout():
+    # Arrivals ~1000 cycles apart can never fill a 64-deep burst; the
+    # flush timer must bound the batching delay instead.
+    config = ServeConfig(
+        tenants=1, batch_size=64, batch_timeout_cycles=128, offered_load=0.001
+    )
+    system, built = build_serving_system(
+        "cha-tlb", seed=7, serve_config=config
+    )
+    server = system.make_server(built, config, seed=7)
+    server.attach(
+        OpenLoopGenerator(
+            0,
+            rate=config.offered_load,
+            num_requests=30,
+            num_queries=len(built.queries),
+            seed=7,
+            stats=system.stats,
+        )
+    )
+    report = server.run()
+    snapshot = system.stats.snapshot()
+    assert snapshot["serve.batcher.flushes.timeout"] > 0
+    assert report.aggregate["completed"] == 30
+    assert report.aggregate["result_errors"] == 0
+
+
+def test_aborted_queries_resolve_through_software_fallback():
+    # A one-step watchdog aborts every accelerated query; the PR-1
+    # fallback contract must still produce correct results under load.
+    report = run_serving(
+        "cha-tlb", tenants=2, requests=40, seed=7, watchdog_steps=1
+    )
+    assert report.aggregate["completed"] > 0
+    assert report.aggregate["fallback_fraction"] == 1.0
+    assert report.aggregate["result_errors"] == 0
+    assert report.aggregate["failed"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Wiring validation
+# --------------------------------------------------------------------- #
+
+
+def make_small_server(config):
+    system, built = build_serving_system("cha-tlb", seed=7, serve_config=config)
+    return system.make_server(built, config, seed=7), built, system
+
+
+def generator_for(tenant, built, system, config):
+    return OpenLoopGenerator(
+        tenant,
+        rate=config.offered_load,
+        num_requests=5,
+        num_queries=len(built.queries),
+        seed=7,
+        stats=system.stats,
+    )
+
+
+def test_duplicate_tenant_generator_rejected():
+    config = ServeConfig(tenants=2)
+    server, built, system = make_small_server(config)
+    server.attach(generator_for(0, built, system, config))
+    with pytest.raises(ServingError):
+        server.attach(generator_for(0, built, system, config))
+
+
+def test_run_requires_one_generator_per_tenant():
+    config = ServeConfig(tenants=2)
+    server, built, system = make_small_server(config)
+    server.attach(generator_for(0, built, system, config))
+    with pytest.raises(ServingError):
+        server.run()
+
+
+def test_unknown_mode_rejected():
+    config = ServeConfig(tenants=1)
+    system, built = build_serving_system("cha-tlb", seed=7, serve_config=config)
+    with pytest.raises(ServingError):
+        system.make_server(built, config, mode="pipelined")
+
+
+def test_unknown_serving_workload_rejected():
+    with pytest.raises(ValueError):
+        build_serving_system(
+            "cha-tlb", seed=7, serve_config=ServeConfig(), workload="snort"
+        )
+
+
+# --------------------------------------------------------------------- #
+# The experiment driver
+# --------------------------------------------------------------------- #
+
+
+def test_serve_experiment_one_scheme():
+    result = serve_experiment(schemes=["cha-tlb"], tenants=2, requests=60, seed=7)
+    assert result.experiment == "serve"
+    # Per-tenant rows plus one aggregate row.
+    assert len(result.rows) == 3
+    assert result.rows[-1]["tenant"] == "all"
+    assert all(row["scheme"] == "cha-tlb" for row in result.rows)

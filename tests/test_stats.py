@@ -79,3 +79,106 @@ def test_report_filters_by_prefix():
     text = reg.report(only=["l1"])
     assert "l1.hits" in text
     assert "l2.hits" not in text
+
+
+# --------------------------------------------------------------------- #
+# PercentileSketch
+# --------------------------------------------------------------------- #
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim import PercentileSketch
+
+
+def exact_quantile(values, pct):
+    """Nearest-rank quantile over the raw samples (the sketch's contract)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=400),
+    st.sampled_from([50.0, 90.0, 95.0, 99.0, 99.9]),
+)
+def test_sketch_quantile_tracks_sorted_array(values, pct):
+    sketch = PercentileSketch("lat")
+    for v in values:
+        sketch.record(v)
+    exact = exact_quantile(values, pct)
+    approx = sketch.quantile(pct)
+    eps = sketch.relative_error
+    tolerance = eps / (1.0 - eps)
+    assert abs(approx - exact) <= tolerance * max(exact, 1.0)
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**6), max_size=120),
+    st.lists(st.integers(min_value=0, max_value=10**6), max_size=120),
+    st.lists(st.integers(min_value=0, max_value=10**6), max_size=120),
+)
+def test_sketch_merge_is_associative(a, b, c):
+    def build(samples):
+        s = PercentileSketch("lat")
+        for v in samples:
+            s.record(v)
+        return s
+
+    left = build(a).merge(build(b)).merge(build(c))
+    right = build(a).merge(build(b).merge(build(c)))
+    assert left.to_dict() == right.to_dict()
+
+
+def test_sketch_merge_matches_single_stream():
+    rng = random.Random(13)
+    samples = [rng.randrange(1, 1_000_000) for _ in range(2_000)]
+    whole = PercentileSketch("lat")
+    shards = [PercentileSketch("lat") for _ in range(4)]
+    for i, v in enumerate(samples):
+        whole.record(v)
+        shards[i % 4].record(v)
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    assert merged.to_dict() == whole.to_dict()
+    assert merged.count == len(samples)
+
+
+def test_sketch_rejects_mismatched_merge():
+    a = PercentileSketch("lat", relative_error=0.01)
+    b = PercentileSketch("lat", relative_error=0.02)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_empty_sketch_is_safe():
+    s = PercentileSketch("lat")
+    assert s.count == 0
+    assert s.mean == 0.0
+    assert s.p99 == 0.0
+    assert s.quantile(50) == 0.0
+
+
+def test_sketch_quantile_validation():
+    s = PercentileSketch("lat")
+    s.record(5)
+    with pytest.raises(ValueError):
+        s.quantile(-1)
+    with pytest.raises(ValueError):
+        s.quantile(101)
+
+
+def test_registry_sketch_shares_storage_and_resets():
+    reg = StatsRegistry()
+    view = reg.scoped("serve")
+    view.sketch("latency").record(100)
+    assert reg.sketch("serve.latency").count == 1
+    snap = reg.snapshot()
+    assert snap["serve.latency.count"] == 1
+    reg.reset()
+    assert reg.sketch("serve.latency").count == 0
