@@ -45,6 +45,7 @@ from .analysis.fault_campaign import fault_campaign
 from .analysis.interference import corun_interference
 from .analysis.scalability import scalability_study
 from .config import IntegrationScheme
+from .faults.chaos import chaos_experiment
 from .serve import serve_experiment
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -70,6 +71,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "interference": corun_interference,
     "fault-campaign": fault_campaign,
     "serve": serve_experiment,
+    "chaos": chaos_experiment,
 }
 
 #: Experiments that accept quick/full and workload filters.
@@ -85,6 +87,8 @@ TAKES_WORKLOADS = {"fig1", "fig7", "fig8", "fig9", "fig11", "fig12", "fault-camp
 TAKES_SEEDED = {"fault-campaign"}
 #: Experiments driven by the serving-tier options.
 TAKES_SERVE = {"serve"}
+#: The chaos harness: serving options plus determinism repeats.
+TAKES_CHAOS = {"chaos"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,6 +175,13 @@ def run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["requests"] = args.requests
         kwargs["seed"] = args.seed
         kwargs["closed_loop"] = args.closed_loop
+        if args.scheme:
+            kwargs["schemes"] = [args.scheme]
+    if name in TAKES_CHAOS:
+        kwargs["tenants"] = args.tenants
+        kwargs["requests"] = args.requests
+        kwargs["seed"] = args.seed
+        kwargs["repeats"] = args.repeats
         if args.scheme:
             kwargs["schemes"] = [args.scheme]
     result = driver(**kwargs)

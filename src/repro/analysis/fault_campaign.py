@@ -236,6 +236,136 @@ def _run_flush_fault(
     return None
 
 
+def _submit_nb_batch(
+    target: _Target, rng: random.Random
+) -> Tuple[List[int], List]:
+    """FLUSH_BATCH non-blocking queries in flight, result records cleared."""
+    system, wl = target.system, target.workload
+    indices = [rng.randrange(len(wl.queries)) for _ in range(FLUSH_BATCH)]
+    handles = []
+    for j, qidx in enumerate(indices):
+        result_addr = target.nb_result_base + 16 * j
+        system.space.write_u64(result_addr, 0)  # RESULT_PENDING
+        system.space.write_u64(result_addr + 8, 0)
+        handles.append(
+            system.accelerator.submit(
+                QueryRequest(
+                    header_addr=wl.header_addr_for(qidx),
+                    key_addr=wl._query_addrs[qidx],
+                    blocking=False,
+                    result_addr=result_addr,
+                ),
+                system.engine.now,
+            )
+        )
+    return indices, handles
+
+
+def _settle_one(
+    target: _Target, label: str, qidx: int, handle
+) -> Optional[str]:
+    """Settle one handle post-fault: SLICE_DOWN -> fallback, else oracle."""
+    system, wl = target.system, target.workload
+    oracle = wl.expected[qidx]
+    if not handle.done:
+        system.accelerator.wait_for(handle)
+    if handle.status is QueryStatus.ABORTED:
+        if handle.abort_code is not AbortCode.SLICE_DOWN:
+            return f"{label}: aborted handle carries {handle.abort_code.name}"
+        outcome = system.fallback.run_software(
+            lambda qi=qidx: wl.software_lookup(qi),
+            abort_code=AbortCode.SLICE_DOWN,
+        )
+        if not outcome.resolved or outcome.value != oracle:
+            return (
+                f"{label}: fallback returned {outcome.value!r}, "
+                f"oracle {oracle!r}"
+            )
+        return "aborted"
+    if handle.value != oracle:
+        return (
+            f"{label}: completed query returned {handle.value!r}, "
+            f"oracle {oracle!r}"
+        )
+    return None
+
+
+def _run_slice_fault(
+    target: _Target,
+    rng: random.Random,
+    counts: Dict[str, int],
+    *,
+    flap: bool,
+) -> Optional[str]:
+    """Kill a slice with queries in flight; flap recovers it immediately."""
+    system = target.system
+    label = "slice-flap" if flap else "slice-fail"
+    indices, handles = _submit_nb_batch(target, rng)
+    system.engine.advance(rng.randrange(1, 400))
+    homes = system.integration.accelerator_homes()
+    victim = homes[rng.randrange(len(homes))]
+    system.fail_slice(victim)
+    if flap:
+        # Fail/recover inside the same window: queries the kill caught
+        # still abort, but routing snaps straight back to the full set.
+        system.recover_slice(victim)
+    aborted = 0
+    try:
+        for qidx, handle in zip(indices, handles):
+            verdict = _settle_one(target, label, qidx, handle)
+            if verdict == "aborted":
+                aborted += 1
+            elif verdict:
+                return verdict
+    finally:
+        if not flap:
+            system.recover_slice(victim)
+    # Recovery must restore routing: a blocking probe query on the healed
+    # machine has to complete against the oracle.
+    probe = rng.randrange(len(target.workload.queries))
+    handle = system.accelerator.submit(
+        QueryRequest(
+            header_addr=target.workload.header_addr_for(probe),
+            key_addr=target.workload._query_addrs[probe],
+            blocking=True,
+        ),
+        system.engine.now,
+    )
+    system.accelerator.wait_for(handle)
+    if (
+        handle.status is QueryStatus.ABORTED
+        or handle.value != target.workload.expected[probe]
+    ):
+        return f"{label}: post-recovery probe did not match the oracle"
+    key = "abort.slice_down" if aborted else "masked"
+    counts[key] = counts.get(key, 0) + 1
+    return None
+
+
+def _run_firmware_swap_fault(
+    target: _Target, rng: random.Random, counts: Dict[str, int]
+) -> Optional[str]:
+    """Hot-swap firmware with queries in flight: drain, commit, no aborts."""
+    from ..core.programs import HashOfListsCfa
+    from ..core.programs_ext import BPlusTreeCfa
+
+    system = target.system
+    indices, handles = _submit_nb_batch(target, rng)
+    system.engine.advance(rng.randrange(1, 400))
+    ticket = system.update_firmware([BPlusTreeCfa(), HashOfListsCfa()])
+    system.engine.run()
+    if not ticket.done:
+        return "firmware-swap: ticket never committed after drain"
+    for qidx, handle in zip(indices, handles):
+        verdict = _settle_one(target, "firmware-swap", qidx, handle)
+        if verdict == "aborted":
+            return "firmware-swap: a quiesced query aborted instead of draining"
+        if verdict:
+            return verdict
+    counts["firmware-swap"] = counts.get("firmware-swap", 0) + 1
+    return None
+
+
 # --------------------------------------------------------------------- #
 # Campaign driver
 # --------------------------------------------------------------------- #
@@ -260,11 +390,22 @@ def _run_campaign_pass(
             targets[combo] = _build_target(combo[0], combo[1], rng)
         target = targets[combo]
         kinds = target.injector.kinds_for(target.workload.header_addr_for(0))
-        kinds = tuple(kinds) + (FaultKind.INTERRUPT_FLUSH,)
+        kinds = tuple(kinds) + (
+            FaultKind.INTERRUPT_FLUSH,
+            FaultKind.SLICE_FAIL,
+            FaultKind.SLICE_FLAP,
+            FaultKind.FIRMWARE_SWAP,
+        )
         kind = kinds[rng.randrange(len(kinds))]
         try:
             if kind is FaultKind.INTERRUPT_FLUSH:
                 violation = _run_flush_fault(target, rng, counts)
+            elif kind in (FaultKind.SLICE_FAIL, FaultKind.SLICE_FLAP):
+                violation = _run_slice_fault(
+                    target, rng, counts, flap=kind is FaultKind.SLICE_FLAP
+                )
+            elif kind is FaultKind.FIRMWARE_SWAP:
+                violation = _run_firmware_swap_fault(target, rng, counts)
             else:
                 qidx = rng.randrange(len(target.workload.queries))
                 violation = _run_memory_fault(target, kind, qidx, counts)

@@ -70,7 +70,9 @@ def validate_system(
     """Cross-check every structure's three query paths on one system."""
     rng = random.Random(seed)
     system = System(small_config(), scheme)
-    system.firmware.register(BPlusTreeCfa())
+    # Explicit ``replace=True``: register() raises FirmwareError on a live
+    # TYPE_CODE otherwise, so shadowing is always a stated intent.
+    system.firmware.register(BPlusTreeCfa(), replace=True)
     report = ValidationReport()
 
     def query_accel(structure, key_addr):

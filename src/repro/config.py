@@ -250,6 +250,27 @@ class ServeConfig:
     think_cycles: int = 128
     #: Closed-loop admission retries before a request is counted failed.
     max_admission_attempts: int = 64
+    #: Per-request deadline from generation, in cycles (0 disables).  Work
+    #: whose deadline expired is shed — never dispatched — with a distinct
+    #: SLO outcome instead of burning QST slots on a dead request.
+    deadline_cycles: int = 0
+    #: Per-tenant circuit breaker: trailing outcomes considered (0 disables).
+    breaker_window: int = 0
+    #: Failure fraction within the window that opens the circuit.
+    breaker_threshold: float = 0.5
+    #: Cycles an open circuit rejects immediately before probing again.
+    breaker_open_cycles: int = 4096
+    #: Half-open probe budget; all must succeed to close the circuit.
+    breaker_probes: int = 4
+    #: Hedged retries: re-submit a query stuck past this latency percentile
+    #: (e.g. 95.0; 0 disables hedging).
+    hedge_quantile: float = 0.0
+    #: The hedge fires at quantile-latency x this multiplier.
+    hedge_multiplier: float = 2.0
+    #: Completions a tenant needs before its quantile estimate is trusted.
+    hedge_min_samples: int = 64
+    #: Total hedged submissions allowed per run (bounded retry amplification).
+    hedge_budget: int = 32
 
     def __post_init__(self) -> None:
         if self.tenants <= 0:
@@ -276,6 +297,32 @@ class ServeConfig:
             raise ConfigurationError(
                 "serve max_admission_attempts must be positive"
             )
+        if self.deadline_cycles < 0:
+            raise ConfigurationError("serve deadline_cycles must be >= 0")
+        if self.breaker_window < 0:
+            raise ConfigurationError("serve breaker_window must be >= 0")
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ConfigurationError(
+                "serve breaker_threshold must be in (0, 1]"
+            )
+        if self.breaker_open_cycles <= 0:
+            raise ConfigurationError(
+                "serve breaker_open_cycles must be positive"
+            )
+        if self.breaker_probes <= 0:
+            raise ConfigurationError("serve breaker_probes must be positive")
+        if not 0.0 <= self.hedge_quantile < 100.0:
+            raise ConfigurationError(
+                "serve hedge_quantile must be a percentile in [0, 100)"
+            )
+        if self.hedge_multiplier < 1.0:
+            raise ConfigurationError("serve hedge_multiplier must be >= 1")
+        if self.hedge_min_samples <= 0:
+            raise ConfigurationError(
+                "serve hedge_min_samples must be positive"
+            )
+        if self.hedge_budget < 0:
+            raise ConfigurationError("serve hedge_budget must be >= 0")
 
 
 @dataclass(frozen=True)

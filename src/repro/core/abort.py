@@ -62,6 +62,9 @@ class AbortCode(enum.IntEnum):
     WATCHDOG = 15
     #: The CFA program itself misbehaved (firmware bug trap).
     FIRMWARE = 16
+    #: The accelerator home the query was bound to is FAILED or draining
+    #: with no surviving slice to reroute to (infrastructure fault).
+    SLICE_DOWN = 17
 
     @property
     def is_abort(self) -> bool:

@@ -50,7 +50,7 @@ from .cfa import (
     STATE_EXCEPTION,
 )
 from ..datastructs.hashing import fnv1a64
-from .integration import Integration
+from .integration import Integration, SliceState
 from .qst import QstEntry, QueryStateTable
 
 #: Value written alongside the status flag for "not found" results.
@@ -140,6 +140,12 @@ class QeiAccelerator:
         self.stats = registry.scoped(name)
         self.qst = QueryStateTable(qst_entries, stats=self.stats)
         self._query_queue: Deque[QueryHandle] = deque()
+        #: Pending quiesce requests: (home set, callback) pairs resolved the
+        #: moment no in-flight or queued query is bound to any home in the set.
+        self._quiesce_waiters: List[tuple] = []
+        #: Queries in the submit network (doorbell rung, not yet arrived),
+        #: per home — quiesce must wait for these too.
+        self._inbound: Dict[int, int] = {}
         # One CEE clock per accelerator instance: keyed by the home node, so
         # distributed (per-CHA / per-core) engines pipeline independently.
         self._cee_free_at: Dict[int, int] = {}
@@ -185,12 +191,22 @@ class QeiAccelerator:
                 lambda: self._submit_fault(handle, detail, code),
             )
             return handle
+        handle._home = home  # type: ignore[attr-defined]
+        if self.integration.home_state(home) is not SliceState.HEALTHY:
+            # The probe found no HEALTHY home to reroute to: the doorbell
+            # NACKs immediately and the query aborts with SLICE_DOWN (the
+            # software fallback is the only path left).
+            self.engine.schedule_at(
+                max(self.engine.now, issue_cycle),
+                lambda: self._slice_down(handle),
+            )
+            return handle
         arrival = (
             max(self.engine.now, issue_cycle)
             + self.integration.submit_latency(request.core_id, home)
             + burst_offset
         )
-        handle._home = home  # type: ignore[attr-defined]
+        self._inbound[home] = self._inbound.get(home, 0) + 1
         self.engine.schedule_at(
             max(arrival, self.engine.now), lambda: self._arrive(handle)
         )
@@ -238,7 +254,36 @@ class QeiAccelerator:
         self.stats.counter(f"abort.{code.name.lower()}").add()
         handle._finish(QueryStatus.FAULT, now, None)
 
+    def _slice_down(self, handle: QueryHandle) -> None:
+        """Abort a query whose home went down before it could execute.
+
+        Mirrors the interrupt-flush semantics: the coarse status word is
+        ``RESULT_ABORTED`` (software already polls for it) and the payload
+        word carries the specific ``SLICE_DOWN`` code.
+        """
+        now = self.engine.now
+        request = handle.request
+        if not request.blocking and request.result_addr:
+            try:
+                self.space.write_u64(request.result_addr, RESULT_ABORTED)
+                self.space.write_u64(request.result_addr + 8, int(AbortCode.SLICE_DOWN))
+            except MemoryError_:
+                pass  # the result record itself is unreachable
+        handle.fault_detail = (
+            f"accelerator home {getattr(handle, '_home', '?')} is down"
+        )
+        handle.abort_code = AbortCode.SLICE_DOWN
+        self.stats.counter("abort.slice_down").add()
+        handle._finish(QueryStatus.ABORTED, now, None)
+
     def _arrive(self, handle: QueryHandle) -> None:
+        home = handle._home  # type: ignore[attr-defined]
+        self._inbound[home] = self._inbound.get(home, 0) - 1
+        if self.integration.home_state(home) is SliceState.FAILED:
+            # The home died while this request crossed the submit network.
+            self._slice_down(handle)
+            self._notify_quiesce()
+            return
         self._query_queue.append(handle)
         self._drain_queue()
 
@@ -492,6 +537,7 @@ class QeiAccelerator:
         self._entry_handles.pop(entry.index, None)
         self.qst.release(entry, abort_code=code)
         self._drain_queue()
+        self._notify_quiesce()
 
     # ------------------------------------------------------------------ #
     # Interrupt flush (Sec. IV-D)
@@ -537,7 +583,118 @@ class QeiAccelerator:
             queued._finish(QueryStatus.ABORTED, now, None)
         self._query_queue.clear()
         self.integration.flush_translations()
+        self._notify_quiesce()
         return finish
+
+    # ------------------------------------------------------------------ #
+    # Slice health: fail / drain / recover (infrastructure faults)
+    # ------------------------------------------------------------------ #
+
+    def fail_home(self, home: int) -> int:
+        """Mark ``home`` FAILED and abort every query bound to it.
+
+        In-flight and queued queries abort with ``SLICE_DOWN`` (non-blocking
+        queries get the abort store, like an interrupt flush); new
+        submissions reroute to the surviving homes via the home probe.
+        Returns the number of queries aborted.
+        """
+        self.integration.set_home_state(home, SliceState.FAILED)
+        now = self.engine.now
+        aborted = 0
+        nb_index = 0
+        for entry in list(self.qst.busy_entries()):
+            handle = self._entry_handles.get(entry.index)
+            if handle is None or handle._home != home:  # type: ignore[attr-defined]
+                continue
+            if not entry.mode_blocking:
+                # Abort stores issue back to back through the translation
+                # port, exactly like the flush path (Sec. IV-D).
+                self._write_result(
+                    handle.request,
+                    RESULT_ABORTED,
+                    int(AbortCode.SLICE_DOWN),
+                    now + nb_index,
+                    home,
+                )
+                nb_index += 1
+            handle.abort_code = AbortCode.SLICE_DOWN
+            self.stats.counter("abort.slice_down").add()
+            self._entry_handles.pop(entry.index, None)
+            self.qst.release(entry, abort_code=AbortCode.SLICE_DOWN)
+            handle._finish(QueryStatus.ABORTED, now, None)
+            aborted += 1
+        stranded = [
+            queued
+            for queued in self._query_queue
+            if queued._home == home  # type: ignore[attr-defined]
+        ]
+        for queued in stranded:
+            self._query_queue.remove(queued)
+            self._slice_down(queued)
+            aborted += 1
+        self.stats.counter("slice.failures").add()
+        self._drain_queue()
+        self._notify_quiesce()
+        return aborted
+
+    def restore_home(self, home: int) -> None:
+        """Bring a FAILED or DRAINING home back into the routable set."""
+        self.integration.set_home_state(home, SliceState.HEALTHY)
+        self.stats.counter("slice.recoveries").add()
+
+    def quiesce(
+        self,
+        homes: "Optional[int | List[int]]" = None,
+        *,
+        on_quiesced: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Drain the QST entries bound to ``homes`` (all homes by default).
+
+        Every currently-HEALTHY target home is marked DRAINING: the home
+        probe routes new submissions elsewhere while accepted work runs to
+        completion.  ``on_quiesced`` fires (immediately, or from the engine
+        event that retires the last in-flight query) once nothing bound to
+        the target homes remains in the QST or the overflow queue.  Returns
+        True when the targets were already quiet.  The caller is responsible
+        for restoring the homes to HEALTHY afterwards.
+        """
+        if homes is None:
+            homes = self.integration.accelerator_homes()
+        elif isinstance(homes, int):
+            homes = [homes]
+        targets = frozenset(homes)
+        for home in targets:
+            if self.integration.home_state(home) is SliceState.HEALTHY:
+                self.integration.set_home_state(home, SliceState.DRAINING)
+        if self._quiesced(targets):
+            if on_quiesced is not None:
+                on_quiesced()
+            return True
+        if on_quiesced is not None:
+            self._quiesce_waiters.append((targets, on_quiesced))
+        return False
+
+    def _quiesced(self, targets: frozenset) -> bool:
+        if any(self._inbound.get(home, 0) > 0 for home in targets):
+            return False
+        for handle in self._entry_handles.values():
+            if handle._home in targets:  # type: ignore[attr-defined]
+                return False
+        for handle in self._query_queue:
+            if handle._home in targets:  # type: ignore[attr-defined]
+                return False
+        return True
+
+    def _notify_quiesce(self) -> None:
+        if not self._quiesce_waiters:
+            return
+        remaining = []
+        for targets, callback in self._quiesce_waiters:
+            if self._quiesced(targets):
+                callback()
+            else:
+                remaining.append((targets, callback))
+        self._quiesce_waiters = remaining
 
     # ------------------------------------------------------------------ #
 

@@ -246,6 +246,21 @@ class FirmwareImage:
             )
         self._programs[program.TYPE_CODE] = program
 
+    def staged_copy(self) -> "FirmwareImage":
+        """A candidate image for a live update (same programs and budget).
+
+        Hot-swap protocol: stage a copy, :meth:`register` the new programs
+        on it (validation failures leave the live table untouched — that is
+        the rollback), then :meth:`adopt` it once the CEE has quiesced.
+        """
+        staged = FirmwareImage(max_states=self.max_states)
+        staged._programs = dict(self._programs)
+        return staged
+
+    def adopt(self, staged: "FirmwareImage") -> None:
+        """Atomically switch to ``staged``'s program table (hot-swap commit)."""
+        self._programs = staged._programs
+
     def program_for(self, type_code: int) -> CfaProgram:
         try:
             return self._programs[type_code]

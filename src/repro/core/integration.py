@@ -22,6 +22,7 @@ submit/return latency, translation, cacheline reads/writes, and compares.
 
 from __future__ import annotations
 
+import enum
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +39,21 @@ from ..mem.tlb import Tlb
 from ..noc.mesh import MeshNoc
 from ..sim.stats import StatsRegistry
 from .dpu import AluPool, ComparatorPool, HashUnit
+
+
+class SliceState(str, enum.Enum):
+    """Health of one accelerator home (LLC slice / device stop / core).
+
+    ``HEALTHY`` homes take new work.  ``DRAINING`` homes finish what they
+    already accepted but the home probe routes new submissions elsewhere
+    (quiesce windows: firmware update, planned maintenance).  ``FAILED``
+    homes take nothing and their in-flight queries abort with
+    :attr:`~repro.core.abort.AbortCode.SLICE_DOWN`.
+    """
+
+    HEALTHY = "healthy"
+    DRAINING = "draining"
+    FAILED = "failed"
 
 
 def _lines_of(vaddr: int, length: int) -> List[int]:
@@ -96,6 +112,10 @@ class Integration:
         self._cmp_uops = self.stats.counter("uops.compare")
         self._mem_latency = self.stats.histogram("latency.mem")
         self._cmp_latency = self.stats.histogram("latency.compare")
+        # Per-home health (slice failover): homes absent from the map are
+        # HEALTHY; the public home probe reroutes around the rest.
+        self._home_states: Dict[int, SliceState] = {}
+        self._reroutes = self.stats.counter("home.reroutes")
 
     # ------------------------------------------------------------------ #
     # Topology hooks
@@ -105,8 +125,53 @@ class Integration:
         return core_id
 
     def home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
-        """Where this query's CFA executes."""
+        """Where this query's CFA executes, rerouted around down homes.
+
+        The scheme-specific probe (:meth:`_home_node`) picks the natural
+        home; when that home is not HEALTHY the query is consistently
+        re-hashed onto the surviving homes (only the down home's traffic
+        moves).  With no survivors the natural home is returned unchanged
+        and the submit path aborts the query with ``SLICE_DOWN``.
+        """
+        return self._reroute(self._home_node(core_id, header_vaddr, key_addr))
+
+    def _home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
+        """The scheme's natural home for this query (no health applied)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Per-home health (slice failover)
+    # ------------------------------------------------------------------ #
+
+    def accelerator_homes(self) -> List[int]:
+        """Every home node an accelerator instance lives at, sorted."""
+        raise NotImplementedError
+
+    def home_state(self, home: int) -> SliceState:
+        return self._home_states.get(home, SliceState.HEALTHY)
+
+    def set_home_state(self, home: int, state: SliceState) -> None:
+        if state is SliceState.HEALTHY:
+            self._home_states.pop(home, None)
+        else:
+            self._home_states[home] = state
+
+    def routable_homes(self) -> List[int]:
+        """The HEALTHY subset of :meth:`accelerator_homes`."""
+        return [
+            home
+            for home in self.accelerator_homes()
+            if self.home_state(home) is SliceState.HEALTHY
+        ]
+
+    def _reroute(self, home: int) -> int:
+        if self.home_state(home) is SliceState.HEALTHY:
+            return home
+        survivors = self.routable_homes()
+        if not survivors:
+            return home
+        self._reroutes.add()
+        return survivors[home % len(survivors)]
 
     def _distribute(self, key_addr: int, header_vaddr: int = 0) -> int:
         """NUCA-hash a query to a CHA accelerator (Sec. V / HALO).
@@ -397,8 +462,11 @@ class CoreIntegratedScheme(Integration):
             for i in range(self.config.num_cores)
         ]
 
-    def home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
+    def _home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
         return self.core_node(core_id)
+
+    def accelerator_homes(self) -> List[int]:
+        return list(range(self.config.num_cores))
 
     def translate(self, vaddr, access, now, home, core_id):
         self._translations.add()
@@ -435,8 +503,11 @@ class ChaTlbScheme(Integration):
             for i in range(self.config.llc.slices)
         ]
 
-    def home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
+    def _home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
         return self._distribute(key_addr or header_vaddr, header_vaddr)
+
+    def accelerator_homes(self) -> List[int]:
+        return list(range(self.config.llc.slices))
 
     def translate(self, vaddr, access, now, home, core_id):
         self._translations.add()
@@ -471,8 +542,11 @@ class ChaNoTlbScheme(Integration):
 
     scheme = IntegrationScheme.CHA_NOTLB
 
-    def home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
+    def _home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
         return self._distribute(key_addr or header_vaddr, header_vaddr)
+
+    def accelerator_homes(self) -> List[int]:
+        return list(range(self.config.llc.slices))
 
     def translate(self, vaddr, access, now, home, core_id):
         self._translations.add()
@@ -505,8 +579,11 @@ class _DeviceScheme(Integration):
             self.config.qei.comparators_per_device_dpu, "device.comparators"
         )
 
-    def home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
+    def _home_node(self, core_id: int, header_vaddr: int, key_addr: int = 0) -> int:
         return self.device_node
+
+    def accelerator_homes(self) -> List[int]:
+        return [self.device_node]
 
     def submit_latency(self, core_id: int, home: int) -> int:
         # Half the interface round trip plus the mesh crossing to the stop.

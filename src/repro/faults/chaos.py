@@ -1,0 +1,325 @@
+"""Chaos harness: infrastructure faults under closed-loop serving load.
+
+``python -m repro chaos`` drives one scaled-down machine with multi-tenant
+closed-loop load while a deterministic event schedule kills and recovers
+accelerator slices and hot-swaps CFA firmware mid-run.  The contract it
+asserts is the ROADMAP's availability story:
+
+* **zero wrong results** — every completed request matches the software
+  oracle, whether it ran accelerated, rerouted to a survivor slice, or
+  resolved through the software fallback after a ``SLICE_DOWN`` abort;
+* **zero hangs** — every admitted request reaches a terminal outcome
+  (completion or an explicit deadline shed), i.e. availability is 100%;
+* **determinism** — the same seed reproduces a byte-identical report,
+  faults included (``--repeats`` re-runs and compares the dumps).
+
+Events fire when the fleet-wide terminal-request count crosses seeded
+thresholds — a cycle-free trigger, so the schedule is identical across
+runs regardless of how timing shifts as the code evolves.  The timeline is
+segmented into phases at every event; the report carries availability and
+p99 per phase.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import IntegrationScheme, ServeConfig
+from ..core.programs import HashOfListsCfa
+from ..core.programs_ext import BPlusTreeCfa
+from ..errors import ReproError
+
+#: Event actions.
+SLICE_FAIL = "slice-fail"
+SLICE_RECOVER = "slice-recover"
+FIRMWARE_SWAP = "firmware-swap"
+
+
+class ChaosError(ReproError):
+    """The chaos contract was violated (wrong result, hang, lost event)."""
+
+
+@dataclass
+class ChaosEvent:
+    """One scheduled infrastructure fault.
+
+    ``trigger`` is the fleet-wide terminal-request count at which the
+    event fires; ``home`` identifies the victim slice for fail/recover.
+    """
+
+    action: str
+    trigger: int
+    home: Optional[int] = None
+    fired_cycle: Optional[int] = None
+    #: SLICE_DOWN aborts caused (slice-fail only).
+    aborted: int = 0
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "action": self.action,
+            "trigger": self.trigger,
+            "home": self.home,
+            "fired_cycle": self.fired_cycle,
+            "aborted": self.aborted,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """One chaos run: the event log, the serving report, and the verdicts."""
+
+    scheme: str
+    seed: int
+    requests: int
+    events: List[Dict[str, object]] = field(default_factory=list)
+    serving: Dict[str, object] = field(default_factory=dict)
+    checks: Dict[str, object] = field(default_factory=dict)
+
+    def dump(self) -> str:
+        """Canonical JSON (byte-identical across same-seed runs)."""
+        return json.dumps(
+            {
+                "scheme": self.scheme,
+                "seed": self.seed,
+                "requests": self.requests,
+                "events": self.events,
+                "serving": self.serving,
+                "checks": self.checks,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def chaos_schedule(homes: List[int], requests: int) -> List[ChaosEvent]:
+    """The canonical event schedule: 2 kills, 2 recoveries, 1 hot-swap.
+
+    Victims are the first two accelerator homes (the same home twice for
+    single-home schemes — kill, recover, kill again).  Triggers sit at
+    fixed fractions of the request budget so the schedule scales with run
+    length.
+    """
+    first = homes[0]
+    second = homes[1] if len(homes) > 1 else homes[0]
+    return [
+        ChaosEvent(SLICE_FAIL, max(1, requests * 15 // 100), home=first),
+        ChaosEvent(SLICE_RECOVER, max(2, requests * 30 // 100), home=first),
+        ChaosEvent(SLICE_FAIL, max(3, requests * 45 // 100), home=second),
+        ChaosEvent(SLICE_RECOVER, max(4, requests * 60 // 100), home=second),
+        ChaosEvent(FIRMWARE_SWAP, max(5, requests * 75 // 100)),
+    ]
+
+
+def run_chaos(
+    scheme: str,
+    *,
+    seed: int = 7,
+    requests: int = 400,
+    tenants: int = 4,
+    workload: str = "dpdk",
+    serve_config: Optional[ServeConfig] = None,
+    verify: bool = True,
+) -> ChaosReport:
+    """One closed-loop serving run under the canonical chaos schedule."""
+    from ..serve import ClosedLoopGenerator, build_serving_system
+
+    if serve_config is None:
+        serve_config = ServeConfig(tenants=tenants)
+    system, built = build_serving_system(
+        scheme, seed=seed, serve_config=serve_config, workload=workload
+    )
+    server = system.make_server(built, serve_config, seed=seed)
+    per_tenant = max(1, requests // serve_config.tenants)
+    for tenant in range(serve_config.tenants):
+        server.attach(
+            ClosedLoopGenerator(
+                tenant,
+                config=serve_config,
+                num_requests=per_tenant,
+                num_queries=len(built.queries),
+                seed=seed,
+                stats=system.stats,
+            )
+        )
+    budget = per_tenant * serve_config.tenants
+
+    events = chaos_schedule(system.integration.accelerator_homes(), budget)
+    pending = list(events)
+    swap_tickets = []
+    server.slo.begin_phase("baseline", system.engine.now)
+
+    def fire(event: ChaosEvent) -> None:
+        event.fired_cycle = system.engine.now
+        if event.action == SLICE_FAIL:
+            event.aborted = system.fail_slice(event.home)
+        elif event.action == SLICE_RECOVER:
+            system.recover_slice(event.home)
+        else:
+            # Live hot-swap: stop pulling new work, push the open bursts
+            # through, then quiesce-and-commit; dispatch resumes at commit.
+            server.pause_dispatch()
+            server.batcher.flush_all()
+            ticket = system.update_firmware(
+                [BPlusTreeCfa(), HashOfListsCfa()],
+                on_complete=lambda upd: server.resume_dispatch(),
+            )
+            swap_tickets.append(ticket)
+        label = (
+            event.action
+            if event.home is None
+            else f"{event.action}-{event.home}"
+        )
+        server.slo.begin_phase(label, system.engine.now)
+
+    def on_tick(srv) -> None:
+        while pending and srv.slo.terminal >= pending[0].trigger:
+            fire(pending.pop(0))
+
+    serving_report = server.run(on_tick=on_tick)
+    # A trigger past the budget (tiny runs) would never fire mid-run;
+    # fire the stragglers now so the schedule always completes.
+    while pending:
+        fire(pending.pop(0))
+        system.engine.run()
+
+    aggregate = serving_report.aggregate
+    swap_committed = all(t.done for t in swap_tickets)
+    extensions_live = system.firmware.supports(
+        BPlusTreeCfa.TYPE_CODE
+    ) and system.firmware.supports(HashOfListsCfa.TYPE_CODE)
+    report = ChaosReport(
+        scheme=IntegrationScheme.parse(scheme).value,
+        seed=seed,
+        requests=budget,
+        events=[event.row() for event in events],
+        serving={
+            "aggregate": aggregate,
+            "phases": serving_report.phases,
+            "tenants": serving_report.tenants,
+            "elapsed_cycles": serving_report.elapsed_cycles,
+        },
+        checks={
+            "result_errors": aggregate["result_errors"],
+            "failed": aggregate["failed"],
+            "availability": aggregate["availability"],
+            "slice_kills": sum(
+                1 for e in events if e.action == SLICE_FAIL
+            ),
+            "slice_recoveries": sum(
+                1 for e in events if e.action == SLICE_RECOVER
+            ),
+            "firmware_swaps": len(swap_tickets),
+            "swap_committed": swap_committed,
+            "extension_programs_live": extensions_live,
+            "slice_down_aborts": sum(e.aborted for e in events),
+        },
+    )
+    if verify:
+        _verify(report)
+    return report
+
+
+def _verify(report: ChaosReport) -> None:
+    checks = report.checks
+    problems = []
+    if checks["result_errors"]:
+        problems.append(f"{checks['result_errors']} wrong results")
+    if checks["failed"]:
+        problems.append(f"{checks['failed']} unresolved requests")
+    if checks["availability"] != 1.0:
+        problems.append(f"availability {checks['availability']:.4f} != 1.0")
+    if not checks["swap_committed"]:
+        problems.append("firmware hot-swap never committed")
+    if not checks["extension_programs_live"]:
+        problems.append("extension programs missing after hot-swap")
+    if any(event["fired_cycle"] is None for event in report.events):
+        problems.append("chaos schedule did not complete")
+    if problems:
+        raise ChaosError(
+            f"chaos contract violated on {report.scheme}: "
+            + "; ".join(problems)
+        )
+
+
+def chaos_experiment(
+    *,
+    schemes=None,
+    seed: int = 7,
+    requests: int = 400,
+    tenants: int = 4,
+    repeats: int = 2,
+):
+    """Chaos campaign: slice kills, recoveries and a live firmware swap
+    under closed-loop load, with a same-seed determinism re-run."""
+    from ..analysis.report import ExperimentResult
+
+    scheme_names = [
+        IntegrationScheme.parse(s).value
+        for s in (schemes or [IntegrationScheme.CHA_TLB.value])
+    ]
+    result = ExperimentResult(
+        "chaos",
+        (
+            f"{requests} closed-loop requests x {tenants} tenants under "
+            f"2 slice kills + 2 recoveries + 1 firmware hot-swap (seed {seed})"
+        ),
+        [
+            "scheme",
+            "phase",
+            "admitted",
+            "completed",
+            "shed",
+            "availability",
+            "p99",
+            "aborts",
+            "errors",
+        ],
+    )
+    for scheme in scheme_names:
+        report = run_chaos(
+            scheme, seed=seed, requests=requests, tenants=tenants
+        )
+        for _ in range(max(0, repeats - 1)):
+            again = run_chaos(
+                scheme, seed=seed, requests=requests, tenants=tenants
+            )
+            if again.dump() != report.dump():
+                raise ChaosError(
+                    f"chaos run on {scheme} is not deterministic: "
+                    f"same-seed re-run produced a different report"
+                )
+        for phase in report.serving["phases"]:
+            result.add_row(
+                scheme=scheme,
+                phase=phase["name"],
+                admitted=phase["admitted"],
+                completed=phase["completed"],
+                shed=phase["deadline_shed"],
+                availability=phase["availability"],
+                p99=phase["p99"],
+                aborts="",
+                errors="",
+            )
+        checks = report.checks
+        result.add_row(
+            scheme=scheme,
+            phase="all",
+            admitted=report.serving["aggregate"]["admitted"],
+            completed=report.serving["aggregate"]["completed"],
+            shed=report.serving["aggregate"]["deadline_shed"],
+            availability=checks["availability"],
+            p99=report.serving["aggregate"]["p99"],
+            aborts=checks["slice_down_aborts"],
+            errors=checks["result_errors"],
+        )
+    result.notes.append(
+        "contract: zero wrong results, zero hangs (availability 1.0), "
+        "firmware swap commits with extension programs live"
+    )
+    result.notes.append(
+        f"determinism: {repeats} same-seed runs produced byte-identical "
+        "chaos reports"
+    )
+    return result

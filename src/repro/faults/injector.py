@@ -55,6 +55,22 @@ class FaultKind(str, enum.Enum):
     KEY_FLIP = "key-flip"
     PAGE_UNMAP = "page-unmap"
     INTERRUPT_FLUSH = "interrupt-flush"
+    SLICE_FAIL = "slice-fail"
+    SLICE_FLAP = "slice-flap"
+    FIRMWARE_SWAP = "firmware-swap"
+
+
+#: Infrastructure kinds are machine state, not memory state: the campaign
+#: raises them through the System control surface (``fail_slice``,
+#: ``recover_slice``, ``update_firmware``), never through :meth:`inject`.
+MACHINE_KINDS = frozenset(
+    {
+        FaultKind.INTERRUPT_FLUSH,
+        FaultKind.SLICE_FAIL,
+        FaultKind.SLICE_FLAP,
+        FaultKind.FIRMWARE_SWAP,
+    }
+)
 
 
 #: Abort codes each kind may legitimately surface.  Pointer faults planted
@@ -78,6 +94,11 @@ EXPECTED_CODES: Dict[FaultKind, Tuple[AbortCode, ...]] = {
     FaultKind.KEY_FLIP: (),
     FaultKind.PAGE_UNMAP: (AbortCode.SEGFAULT,),
     FaultKind.INTERRUPT_FLUSH: (AbortCode.FLUSH,),
+    FaultKind.SLICE_FAIL: (AbortCode.SLICE_DOWN,),
+    FaultKind.SLICE_FLAP: (AbortCode.SLICE_DOWN,),
+    # A hot-swap quiesces instead of aborting: queries drain, then the
+    # table swaps; no abort code is ever legitimate.
+    FaultKind.FIRMWARE_SWAP: (),
 }
 
 #: Kinds whose damage can miss the queried path entirely (masked outcome).
@@ -89,6 +110,11 @@ MASKABLE_KINDS = frozenset(
         FaultKind.KEY_FLIP,
         FaultKind.PAGE_UNMAP,
         FaultKind.INTERRUPT_FLUSH,
+        # Multi-slice schemes reroute around a dead slice, and a swap
+        # drains cleanly, so queries routinely complete unaffected.
+        FaultKind.SLICE_FAIL,
+        FaultKind.SLICE_FLAP,
+        FaultKind.FIRMWARE_SWAP,
     }
 )
 
@@ -217,13 +243,17 @@ class FaultInjector:
         """Apply one fault of ``kind`` to the structure at ``header_addr``.
 
         Exactly one fault may be armed at a time; heal the previous one
-        first.  ``INTERRUPT_FLUSH`` is machine state, not memory state — the
-        campaign raises it by calling ``accelerator.flush()`` directly.
+        first.  ``MACHINE_KINDS`` are machine state, not memory state — the
+        campaign raises them through ``Accelerator.flush()`` or the
+        ``System`` slice/firmware control surface directly.
         """
         if self.armed:
             raise InjectionError("previous fault not healed; call heal() first")
-        if kind is FaultKind.INTERRUPT_FLUSH:
-            raise InjectionError("interrupt-flush is raised via Accelerator.flush()")
+        if kind in MACHINE_KINDS:
+            raise InjectionError(
+                f"{kind.value} is machine state; raise it via the "
+                "Accelerator/System control surface, not inject()"
+            )
         self.epoch += 1
         header = DataStructureHeader.load(self.space, header_addr)
         handler = getattr(self, f"_inject_{kind.name.lower()}")

@@ -12,6 +12,7 @@ Layered on the :class:`~repro.system.System` facade (docs/serving.md):
 """
 
 from .batcher import Batcher
+from .breaker import BreakerState, CircuitBreaker
 from .driver import (
     SERVE_WORKLOADS,
     build_serving_system,
@@ -26,6 +27,8 @@ from .slo import ServingReport, SloTracker
 __all__ = [
     "Admission",
     "Batcher",
+    "BreakerState",
+    "CircuitBreaker",
     "ClosedLoopGenerator",
     "Frontend",
     "LoadGenerator",

@@ -1,0 +1,114 @@
+"""Per-tenant circuit breaker: closed -> open -> half-open.
+
+One tenant whose queries keep aborting (a poisoned structure, a failed
+slice it keeps hashing onto, hostile headers) would otherwise occupy QST
+slots and fallback cycles that healthy tenants need.  The breaker watches a
+trailing window of that tenant's outcomes; when the failure fraction
+crosses the threshold the circuit *opens* and the tenant's arrivals are
+answered with a retry-after immediately — no admission queue, no QST slot,
+no fallback burn.  After ``breaker_open_cycles`` the circuit goes
+*half-open*: a small probe budget is admitted, and only a full run of probe
+successes closes the circuit again (one probe failure re-opens it).
+
+All state is integer cycle arithmetic on the shared engine clock, so
+breaker decisions are as deterministic as the rest of the serving tier.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..config import ServeConfig
+from ..sim.stats import StatsRegistry
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Independent breaker state per tenant, driven by request outcomes."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if config.breaker_window <= 0:
+            raise ValueError("circuit breaker needs a positive window")
+        self.config = config
+        self.stats = (stats or StatsRegistry()).scoped("serve.breaker")
+        tenants = config.tenants
+        self._windows: List[Deque[bool]] = [
+            deque(maxlen=config.breaker_window) for _ in range(tenants)
+        ]
+        self._states = [BreakerState.CLOSED] * tenants
+        self._opened_at = [0] * tenants
+        self._probes_issued = [0] * tenants
+        self._probe_successes = [0] * tenants
+        self._opens = self.stats.counter("opened")
+        self._closes = self.stats.counter("closed")
+        self._rejections = self.stats.counter("rejections")
+
+    # ------------------------------------------------------------------ #
+
+    def state_of(self, tenant: int, now: int) -> BreakerState:
+        """Current state, applying the lazy OPEN -> HALF_OPEN transition."""
+        if (
+            self._states[tenant] is BreakerState.OPEN
+            and now >= self._opened_at[tenant] + self.config.breaker_open_cycles
+        ):
+            self._states[tenant] = BreakerState.HALF_OPEN
+            self._probes_issued[tenant] = 0
+            self._probe_successes[tenant] = 0
+        return self._states[tenant]
+
+    def allow(self, tenant: int, now: int) -> Tuple[bool, int]:
+        """Admit this arrival?  Returns (allowed, retry_after_cycles)."""
+        state = self.state_of(tenant, now)
+        if state is BreakerState.CLOSED:
+            return True, 0
+        if state is BreakerState.HALF_OPEN:
+            if self._probes_issued[tenant] < self.config.breaker_probes:
+                self._probes_issued[tenant] += 1
+                return True, 0
+            # Probe budget outstanding: wait for their verdicts.
+            self._rejections.add()
+            return False, max(1, self.config.breaker_open_cycles // 4)
+        self._rejections.add()
+        reopen = self._opened_at[tenant] + self.config.breaker_open_cycles
+        return False, max(1, reopen - now)
+
+    def record(self, tenant: int, ok: bool, now: int) -> None:
+        """Feed one terminal outcome (completion ok / abort-timeout-shed)."""
+        state = self._states[tenant]
+        if state is BreakerState.OPEN:
+            return  # stale outcome from before the trip
+        if state is BreakerState.HALF_OPEN:
+            if not ok:
+                self._trip(tenant, now)
+                return
+            self._probe_successes[tenant] += 1
+            if self._probe_successes[tenant] >= self.config.breaker_probes:
+                self._states[tenant] = BreakerState.CLOSED
+                self._windows[tenant].clear()
+                self._closes.add()
+            return
+        window = self._windows[tenant]
+        window.append(ok)
+        if len(window) == self.config.breaker_window:
+            failures = sum(1 for outcome in window if not outcome)
+            if failures >= self.config.breaker_threshold * len(window):
+                self._trip(tenant, now)
+
+    def _trip(self, tenant: int, now: int) -> None:
+        self._states[tenant] = BreakerState.OPEN
+        self._opened_at[tenant] = now
+        self._windows[tenant].clear()
+        self._opens.add()
+        self.stats.counter(f"tenant{tenant}.opened").add()

@@ -23,7 +23,7 @@ shared clock, and the request's latency includes the whole detour.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import ServeConfig
 from ..core.accelerator import QueryHandle, QueryRequest, QueryStatus
@@ -31,6 +31,7 @@ from ..errors import ReproError
 from ..sim.stats import StatsRegistry
 from ..system import System
 from .batcher import Batcher
+from .breaker import CircuitBreaker
 from .frontend import Frontend, ServeRequest
 from .loadgen import LoadGenerator
 from .slo import ServingReport, SloTracker
@@ -85,7 +86,17 @@ class QueryServer:
             )
         self.frontend = Frontend(self.config, stats=self.stats)
         self.batcher = Batcher(
-            system, self.config, stats=self.stats, on_done=self._on_done
+            system,
+            self.config,
+            stats=self.stats,
+            on_done=self._on_done,
+            on_shed=lambda sreq: self._shed(sreq, dispatched=True),
+        )
+        #: Per-tenant circuit breaker; None when the window knob is 0.
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(self.config, stats=self.stats)
+            if self.config.breaker_window
+            else None
         )
         self.slo = SloTracker(
             self.config,
@@ -100,10 +111,20 @@ class QueryServer:
         self._slot_of: Dict[int, int] = {}  # request_id*tenants+tenant -> slot
         self._generators: List[LoadGenerator] = []
         self._generators_by_tenant: Dict[int, LoadGenerator] = {}
-        self._completions: Deque[Tuple[ServeRequest, QueryHandle]] = deque()
+        self._completions: Deque[
+            Tuple[ServeRequest, QueryHandle, bool]
+        ] = deque()
         self._outstanding = 0
         self._tenant_outstanding = [0] * self.config.tenants
         self._dispatched = self._serve_stats.counter("dispatched")
+        #: Dispatch gate: the chaos harness pauses dispatch around a live
+        #: firmware swap so the quiesce drains instead of racing new bursts.
+        self._paused = False
+        #: Result-record slots for hedged duplicates, grown on demand and
+        #: recycled; separate from the primary pool so a hedge twin never
+        #: scribbles over a slot the pool already re-issued.
+        self._hedge_slots: List[int] = []
+        self._hedges_issued = 0
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -133,11 +154,24 @@ class QueryServer:
     # ------------------------------------------------------------------ #
 
     def accept(self, generator: LoadGenerator, request: ServeRequest) -> bool:
-        admission = self.frontend.offer(request, self.engine.now)
+        now = self.engine.now
+        if self.breaker is not None:
+            allowed, retry_after = self.breaker.allow(request.tenant, now)
+            if not allowed:
+                self.slo.record_breaker_rejection(request.tenant)
+                generator.on_rejected(request, retry_after)
+                return False
+        admission = self.frontend.offer(request, now)
         if not admission.admitted:
             self.slo.record_rejection(request.tenant)
             generator.on_rejected(request, admission.retry_after)
             return False
+        if self.config.deadline_cycles and request.deadline_cycle is None:
+            # The budget runs from generation, so admission retries eat it.
+            request.deadline_cycle = (
+                request.arrival_cycle + self.config.deadline_cycles
+            )
+        self.slo.record_admission(request.tenant)
         self._dispatch()
         return True
 
@@ -149,10 +183,16 @@ class QueryServer:
         return self._outstanding
 
     def _dispatch(self) -> None:
-        while self._outstanding < self.limit:
+        while not self._paused and self._outstanding < self.limit:
             request = self.frontend.next_request(self.engine.now)
             if request is None:
                 return
+            if (
+                request.deadline_cycle is not None
+                and self.engine.now > request.deadline_cycle
+            ):
+                self._shed(request, dispatched=False)
+                continue
             self._outstanding += 1
             self._tenant_outstanding[request.tenant] += 1
             self._dispatched.add()
@@ -160,6 +200,15 @@ class QueryServer:
                 self._submit_blocking(request)
             else:
                 self.batcher.add(request, self._prepare_nb(request))
+                self._arm_hedge(request)
+
+    def pause_dispatch(self) -> None:
+        """Stop draining admission queues (new arrivals still queue up)."""
+        self._paused = True
+
+    def resume_dispatch(self) -> None:
+        self._paused = False
+        self._dispatch()
 
     def _key(self, request: ServeRequest) -> int:
         return request.request_id * self.config.tenants + request.tenant
@@ -189,17 +238,119 @@ class QueryServer:
         handle.on_done(lambda h, s=request: self._on_done(s, h))
 
     # ------------------------------------------------------------------ #
+    # Hedged retries
+    # ------------------------------------------------------------------ #
+
+    def _hedge_threshold(self, tenant: int) -> Optional[int]:
+        """Cycles after which a dispatched request counts as a straggler."""
+        pct = self.config.hedge_quantile
+        if not pct:
+            return None
+        sketch = self.slo.sketch_of(tenant)
+        if sketch.count < self.config.hedge_min_samples:
+            return None
+        return max(
+            1, int(sketch.quantile(pct) * self.config.hedge_multiplier)
+        )
+
+    def _arm_hedge(self, request: ServeRequest) -> None:
+        if self._hedges_issued >= self.config.hedge_budget:
+            return
+        threshold = self._hedge_threshold(request.tenant)
+        if threshold is None:
+            return
+        self.engine.schedule(
+            threshold, lambda r=request: self._maybe_hedge(r)
+        )
+
+    def _maybe_hedge(self, request: ServeRequest) -> None:
+        if (
+            request.resolved
+            or request.hedged
+            or self._paused
+            or self._hedges_issued >= self.config.hedge_budget
+        ):
+            return
+        request.hedged = True
+        self._hedges_issued += 1
+        self.slo.record_hedge(request.tenant)
+        slot = (
+            self._hedge_slots.pop()
+            if self._hedge_slots
+            else self.system.mem.alloc(16, align=16)
+        )
+        handle = self.accelerator.submit(
+            QueryRequest(
+                header_addr=self.workload.header_addr_for(request.index),
+                key_addr=self.workload._query_addrs[request.index],
+                core_id=self.core_of(request.tenant),
+                blocking=False,
+                result_addr=slot,
+            ),
+            self.engine.now,
+        )
+        handle.on_done(
+            lambda h, r=request, s=slot: self._on_hedge_done(r, h, s)
+        )
+
+    def _on_hedge_done(
+        self, request: ServeRequest, handle: QueryHandle, slot: int
+    ) -> None:
+        # The hedge's result record is quiet once its handle is terminal,
+        # so the slot recycles unconditionally.  Only a *successful* hedge
+        # can win the race; an aborted hedge leaves the primary to resolve
+        # (possibly through the fallback path) as usual.
+        self._hedge_slots.append(slot)
+        if not request.resolved and handle.status in (
+            QueryStatus.FOUND,
+            QueryStatus.NOT_FOUND,
+        ):
+            self._completions.append((request, handle, True))
+
+    # ------------------------------------------------------------------ #
     # Completion
     # ------------------------------------------------------------------ #
 
     def _on_done(self, request: ServeRequest, handle: QueryHandle) -> None:
         # Runs inside an engine event; defer the heavy lifting (fallback
         # execution mutates engine time) to the driving loop.
-        self._completions.append((request, handle))
+        self._completions.append((request, handle, False))
 
-    def _resolve(self, request: ServeRequest, handle: QueryHandle) -> None:
+    def _shed(self, request: ServeRequest, *, dispatched: bool) -> None:
+        """Deadline-expired request: distinct SLO outcome, never executed."""
+        request.resolved = True
+        self.slo.record_shed(request.tenant)
+        if self.breaker is not None:
+            self.breaker.record(request.tenant, False, self.engine.now)
+        if dispatched:
+            # Shed out of an open burst: the slot was claimed at dispatch
+            # but nothing was submitted, so it recycles immediately.
+            slot = self._slot_of.pop(self._key(request), None)
+            if slot is not None:
+                self._slots.append(slot)
+            self._outstanding -= 1
+            self._tenant_outstanding[request.tenant] -= 1
+        self._generators_by_tenant[request.tenant].on_resolved(request)
+
+    def _resolve(
+        self, request: ServeRequest, handle: QueryHandle, *, hedge: bool
+    ) -> None:
+        key = self._key(request)
+        if request.resolved:
+            if not hedge:
+                # The primary of a hedge-won pair just went terminal: its
+                # result record is quiet now, so the slot can recycle.
+                slot = self._slot_of.pop(key, None)
+                if slot is not None:
+                    self._slots.append(slot)
+            return
+        request.resolved = True
         tenant = request.tenant
-        if handle.status in (QueryStatus.FOUND, QueryStatus.NOT_FOUND):
+        accelerated = handle.status in (
+            QueryStatus.FOUND,
+            QueryStatus.NOT_FOUND,
+        )
+        if accelerated:
             completion = handle.completion_cycle or self.engine.now
             self.slo.record_completion(
                 tenant, completion - request.arrival_cycle, accelerated=True
@@ -222,18 +373,30 @@ class QueryServer:
                 self.slo.record_failure(tenant)
             elif outcome.value != self.workload.expected[request.index]:
                 self.slo.record_error()
-        key = self._key(request)
-        slot = self._slot_of.pop(key, None)
-        if slot is not None:
-            self._slots.append(slot)
+        if self.breaker is not None:
+            # Aborts count as failures even when the fallback resolved them:
+            # the breaker tracks the *accelerated* path's health.
+            self.breaker.record(tenant, accelerated, self.engine.now)
+        if not hedge:
+            slot = self._slot_of.pop(key, None)
+            if slot is not None:
+                self._slots.append(slot)
+        # A hedge win leaves the primary slot parked in ``_slot_of`` until
+        # the primary handle goes terminal (the early-return branch above).
         self._outstanding -= 1
         self._tenant_outstanding[tenant] -= 1
         self._generators_by_tenant[tenant].on_resolved(request)
 
-    def _drain_completions(self) -> None:
+    def _drain_completions(self, on_event=None) -> None:
+        # ``on_event`` runs after every resolution, not just once per engine
+        # step: a software-fallback detour advances engine time, so a single
+        # drain can retire an unbounded run of completions — the chaos
+        # harness needs to observe each one to fire its schedule on time.
         while self._completions:
-            request, handle = self._completions.popleft()
-            self._resolve(request, handle)
+            request, handle, hedge = self._completions.popleft()
+            self._resolve(request, handle, hedge=hedge)
+            if on_event is not None:
+                on_event(self)
 
     # ------------------------------------------------------------------ #
     # The serving loop
@@ -247,8 +410,17 @@ class QueryServer:
             and not self._completions
         )
 
-    def run(self) -> ServingReport:
-        """Drive the run to completion and return the serving report."""
+    def run(
+        self,
+        *,
+        on_tick: Optional[Callable[["QueryServer"], None]] = None,
+    ) -> ServingReport:
+        """Drive the run to completion and return the serving report.
+
+        ``on_tick`` (if given) runs after every engine step — the chaos
+        harness uses it to fire slice kills, recoveries and firmware swaps
+        at deterministic points of the run.
+        """
         if len(self._generators) != self.config.tenants:
             raise ServingError(
                 f"{len(self._generators)} generators attached for "
@@ -260,8 +432,10 @@ class QueryServer:
         steps = 0
         while not self._finished():
             progressed = self.engine.step()
-            self._drain_completions()
+            self._drain_completions(on_tick)
             self._dispatch()
+            if on_tick is not None:
+                on_tick(self)
             if not progressed:
                 if self._finished():
                     break

@@ -33,6 +33,9 @@ class ServingReport:
     elapsed_cycles: int
     tenants: List[Dict[str, object]] = field(default_factory=list)
     aggregate: Dict[str, object] = field(default_factory=dict)
+    #: Per-phase rows (chaos runs segment the timeline at every fault event;
+    #: plain serving runs leave this empty).
+    phases: List[Dict[str, object]] = field(default_factory=list)
 
     def dump(self) -> str:
         """Canonical JSON (byte-identical across same-seed runs)."""
@@ -44,6 +47,7 @@ class ServingReport:
                 "elapsed_cycles": self.elapsed_cycles,
                 "tenants": self.tenants,
                 "aggregate": self.aggregate,
+                "phases": self.phases,
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -90,7 +94,49 @@ class SloTracker:
             self.stats.counter(f"tenant{t}.failed")
             for t in range(config.tenants)
         ]
+        self._admitted = [
+            self.stats.counter(f"tenant{t}.admitted")
+            for t in range(config.tenants)
+        ]
+        self._sheds = [
+            self.stats.counter(f"tenant{t}.deadline_shed")
+            for t in range(config.tenants)
+        ]
+        self._breaker_rejected = [
+            self.stats.counter(f"tenant{t}.breaker_rejected")
+            for t in range(config.tenants)
+        ]
+        self._hedges = [
+            self.stats.counter(f"tenant{t}.hedges")
+            for t in range(config.tenants)
+        ]
         self._errors = self.stats.counter("result_errors")
+        #: Phase segmentation (chaos runs): each phase accumulates its own
+        #: sketch and outcome counters from ``begin_phase`` onwards.
+        self._phases: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+
+    def begin_phase(self, name: str, now: int) -> None:
+        """Open a new accounting phase (availability/p99 reported per phase)."""
+        self._phases.append(
+            {
+                "name": name,
+                "start_cycle": now,
+                "sketch": PercentileSketch(f"phase.{name}.latency"),
+                "admitted": 0,
+                "completed": 0,
+                "fallbacks": 0,
+                "shed": 0,
+                "failed": 0,
+                "breaker_rejected": 0,
+            }
+        )
+
+    def _phase(self) -> Optional[Dict[str, object]]:
+        return self._phases[-1] if self._phases else None
 
     # ------------------------------------------------------------------ #
 
@@ -103,17 +149,66 @@ class SloTracker:
             self._fallbacks[tenant].add()
         if latency > self.config.slo_p99_cycles:
             self._violations[tenant].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["completed"] += 1
+            phase["sketch"].record(latency)
+            if not accelerated:
+                phase["fallbacks"] += 1
 
     def record_rejection(self, tenant: int) -> None:
         self._rejected[tenant].add()
 
+    def record_admission(self, tenant: int) -> None:
+        """A request cleared admission (denominator of availability)."""
+        self._admitted[tenant].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["admitted"] += 1
+
+    def record_shed(self, tenant: int) -> None:
+        """An admitted request shed at its deadline (distinct SLO outcome)."""
+        self._sheds[tenant].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["shed"] += 1
+
+    def record_breaker_rejection(self, tenant: int) -> None:
+        """An arrival answered retry-after by an open circuit."""
+        self._breaker_rejected[tenant].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["breaker_rejected"] += 1
+
+    def record_hedge(self, tenant: int) -> None:
+        """A hedged duplicate was submitted for a straggling request."""
+        self._hedges[tenant].add()
+
     def record_failure(self, tenant: int) -> None:
         """A request the fallback path could not resolve (or gave up on)."""
         self._failed[tenant].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["failed"] += 1
 
     def record_error(self) -> None:
         """An accelerated result disagreeing with the software oracle."""
         self._errors.add()
+
+    def sketch_of(self, tenant: int) -> PercentileSketch:
+        """The tenant's live latency sketch (hedging reads quantiles off it)."""
+        return self._sketches[tenant]
+
+    @property
+    def terminal(self) -> int:
+        """Requests with a terminal outcome so far (completed or shed).
+
+        The chaos harness keys its fault schedule off this count, so the
+        same seed fires every event at the same point of the run.
+        """
+        return sum(c.value for c in self._completed) + sum(
+            s.value for s in self._sheds
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -129,8 +224,12 @@ class SloTracker:
         fallbacks = self._fallbacks[tenant].value
         return {
             "tenant": tenant,
+            "admitted": self._admitted[tenant].value,
             "completed": completed,
             "rejected": self._rejected[tenant].value,
+            "breaker_rejected": self._breaker_rejected[tenant].value,
+            "deadline_shed": self._sheds[tenant].value,
+            "hedges": self._hedges[tenant].value,
             "failed": self._failed[tenant].value,
             "fallbacks": fallbacks,
             "fallback_fraction": fallbacks / completed if completed else 0.0,
@@ -159,6 +258,7 @@ class SloTracker:
         )
         merged = PercentileSketch("aggregate.latency")
         completed = rejected = fallbacks = failed = violations = 0
+        admitted = shed = breaker_rejected = hedges = 0
         for tenant in range(self.config.tenants):
             row = self._tenant_row(tenant, elapsed_cycles)
             report.tenants.append(row)
@@ -168,9 +268,23 @@ class SloTracker:
             fallbacks += self._fallbacks[tenant].value
             failed += self._failed[tenant].value
             violations += self._violations[tenant].value
+            admitted += self._admitted[tenant].value
+            shed += self._sheds[tenant].value
+            breaker_rejected += self._breaker_rejected[tenant].value
+            hedges += self._hedges[tenant].value
         report.aggregate = {
             "completed": completed,
             "rejected": rejected,
+            "admitted": admitted,
+            "deadline_shed": shed,
+            "breaker_rejected": breaker_rejected,
+            "hedges": hedges,
+            # Liveness: every admitted request must terminate (completion —
+            # possibly via fallback — or deadline shed).  Anything else is a
+            # lost request, which the chaos harness treats as a hang.
+            "availability": (
+                (completed + shed) / admitted if admitted else 1.0
+            ),
             "failed": failed,
             "fallbacks": fallbacks,
             "fallback_fraction": fallbacks / completed if completed else 0.0,
@@ -186,4 +300,26 @@ class SloTracker:
                 1 for row in report.tenants if row["slo_met"]
             ),
         }
+        for phase in self._phases:
+            sketch = phase["sketch"]
+            admitted_p = phase["admitted"]
+            terminal = phase["completed"] + phase["shed"]
+            report.phases.append(
+                {
+                    "name": phase["name"],
+                    "start_cycle": phase["start_cycle"],
+                    "admitted": admitted_p,
+                    "completed": phase["completed"],
+                    "deadline_shed": phase["shed"],
+                    "failed": phase["failed"],
+                    "fallbacks": phase["fallbacks"],
+                    "breaker_rejected": phase["breaker_rejected"],
+                    "availability": (
+                        terminal / admitted_p if admitted_p else 1.0
+                    ),
+                    "p50": sketch.p50,
+                    "p99": sketch.p99,
+                    "mean": sketch.mean,
+                }
+            )
         return report

@@ -14,13 +14,13 @@ from typing import Callable, Optional
 from .config import FallbackConfig, IntegrationScheme, SystemConfig
 from .core.abort import AbortCode
 from .core.accelerator import QeiAccelerator, QueryHandle, QueryRequest, QueryStatus
-from .core.integration import build_integration
+from .core.integration import SliceState, build_integration
 from .core.isa import QueryPort
 from .core.programs import default_firmware
 from .cpu.core import CoreResult, OoOCore
 from .cpu.trace import Trace
 from .datastructs.base import ProcessMemory
-from .errors import MemoryError_
+from .errors import ConfigurationError, MemoryError_
 from .mem.hierarchy import MemoryHierarchy
 from .mem.mmu import Mmu
 from .noc.mesh import MeshNoc
@@ -43,6 +43,24 @@ class QueryOutcome:
     attempts: int = 0
     resolved: bool = True
     completion_cycle: int = 0
+
+
+@dataclass
+class FirmwareUpdate:
+    """Ticket for one live firmware update (hot-swap).
+
+    The swap commits only after every accelerator home has quiesced; until
+    then queries keep executing against the old table.  ``completed_cycle``
+    is set (and ``done`` turns True) at commit time.
+    """
+
+    programs: tuple
+    requested_cycle: int
+    completed_cycle: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_cycle is not None
 
 
 class FallbackExecutor:
@@ -264,6 +282,76 @@ class System:
             self, workload, serve_config or self.config.serve,
             mode=mode, seed=seed,
         )
+
+    # ------------------------------------------------------------------ #
+    # Infrastructure-fault control surface (slice failover, hot-swap)
+    # ------------------------------------------------------------------ #
+
+    def _check_home(self, home: int) -> None:
+        homes = self.integration.accelerator_homes()
+        if home not in homes:
+            raise ConfigurationError(
+                f"home {home} is not an accelerator home under "
+                f"{self.scheme.value} (homes: {homes})"
+            )
+
+    def fail_slice(self, home: int) -> int:
+        """Kill one accelerator home: abort its queries, reroute new ones.
+
+        Returns the number of in-flight/queued queries aborted with
+        ``SLICE_DOWN`` (each resolves through the software fallback).
+        """
+        self._check_home(home)
+        return self.accelerator.fail_home(home)
+
+    def recover_slice(self, home: int) -> None:
+        """Return a failed (or draining) home to the routable set."""
+        self._check_home(home)
+        self.accelerator.restore_home(home)
+
+    def update_firmware(
+        self,
+        programs,
+        *,
+        replace: bool = True,
+        on_complete=None,
+    ) -> FirmwareUpdate:
+        """Live CFA firmware update: validate, quiesce, swap atomically.
+
+        The new ``programs`` are registered on a *staged copy* of the live
+        image first — a :class:`~repro.errors.FirmwareError` (bad program,
+        state budget, duplicate without ``replace``) raises here and leaves
+        the live table untouched (the rollback path).  Every HEALTHY home is
+        then marked DRAINING; once all in-flight queries retire the staged
+        table is adopted in one step, the drained homes return to HEALTHY,
+        and ``on_complete(update)`` fires.  On an idle machine the swap
+        commits before this method returns.
+        """
+        staged = self.firmware.staged_copy()
+        for program in programs:
+            staged.register(program, replace=replace)
+        update = FirmwareUpdate(
+            programs=tuple(type(p).__name__ for p in programs),
+            requested_cycle=self.engine.now,
+        )
+        integration = self.integration
+        drained = [
+            home
+            for home in integration.accelerator_homes()
+            if integration.home_state(home) is SliceState.HEALTHY
+        ]
+
+        def commit() -> None:
+            self.firmware.adopt(staged)
+            for home in drained:
+                integration.set_home_state(home, SliceState.HEALTHY)
+            update.completed_cycle = self.engine.now
+            self.stats.scoped("qei").counter("firmware.swaps").add()
+            if on_complete is not None:
+                on_complete(update)
+
+        self.accelerator.quiesce(on_quiesced=commit)
+        return update
 
     # ------------------------------------------------------------------ #
 

@@ -266,6 +266,69 @@ class TestFlush:
         assert sys_.accelerator.flush() == sys_.engine.now
 
 
+class TestPoll:
+    def test_poll_empty_handle_list(self, sys_):
+        assert sys_.accelerator.poll([]) == []
+
+    def test_poll_reports_flushed_handles_terminal(self, sys_):
+        # Handles from a flushed batch are stale generations: poll must
+        # report them terminal (done, ABORTED) rather than leave the
+        # caller spinning on a batch the QST no longer tracks.
+        ht = CuckooHashTable(sys_.mem, key_length=16, num_buckets=64)
+        keys = keys_of(4)
+        for i, k in enumerate(keys):
+            ht.insert(k, i)
+        handles = []
+        for k in keys:
+            handles.append(
+                sys_.accelerator.submit(
+                    QueryRequest(
+                        header_addr=ht.header_addr,
+                        key_addr=ht.store_key(k),
+                        blocking=False,
+                        result_addr=sys_.mem.alloc(16),
+                    ),
+                    sys_.engine.now,
+                )
+            )
+        sys_.engine.advance(60)  # arrive in the QST
+        sys_.accelerator.flush()
+        sys_.engine.run()
+        done = sys_.accelerator.poll(handles)
+        assert done == handles, "every flushed handle must be terminal"
+        for handle in done:
+            assert handle.status in (
+                QueryStatus.ABORTED,
+                QueryStatus.FOUND,
+                QueryStatus.NOT_FOUND,
+            )
+
+    def test_poll_reports_slice_failed_handles_terminal(self, sys_):
+        ht = CuckooHashTable(sys_.mem, key_length=16, num_buckets=64)
+        keys = keys_of(4)
+        for i, k in enumerate(keys):
+            ht.insert(k, i)
+        handles = []
+        for k in keys:
+            handles.append(
+                sys_.accelerator.submit(
+                    QueryRequest(
+                        header_addr=ht.header_addr,
+                        key_addr=ht.store_key(k),
+                        blocking=False,
+                        result_addr=sys_.mem.alloc(16),
+                    ),
+                    sys_.engine.now,
+                )
+            )
+        sys_.engine.advance(5)
+        for home in sys_.integration.accelerator_homes():
+            sys_.accelerator.fail_home(home)
+        sys_.engine.run()
+        done = sys_.accelerator.poll(handles)
+        assert done == handles, "aborted-batch handles must not hang poll"
+
+
 class TestFirmwareUpdate:
     def test_unknown_type_faults_without_firmware(self, sys_):
         hol = HashOfLists(sys_.mem, key_length=16)

@@ -1,0 +1,421 @@
+"""Chaos-resilience tests: slice failure/failover, deadlines, breakers,
+firmware hot-swap, and the chaos harness contract.
+
+The infrastructure-fault layer must degrade to slower-but-correct service,
+never wrong answers or hangs: a dead slice reroutes (or aborts with
+``SLICE_DOWN`` and resolves through the software fallback), deadlines shed
+instead of dispatching dead work, a poisoned tenant trips its circuit
+breaker without dragging the others' p99 down, and a firmware hot-swap
+drains in-flight queries before committing atomically.
+"""
+
+import pytest
+
+from repro.config import ServeConfig, small_config
+from repro.core.abort import AbortCode
+from repro.core.accelerator import QueryRequest, QueryStatus
+from repro.core.integration import SliceState
+from repro.core.programs import HashOfListsCfa
+from repro.core.programs_ext import BPlusTreeCfa
+from repro.errors import ConfigurationError, FirmwareError
+from repro.faults.chaos import ChaosError, chaos_schedule, run_chaos
+from repro.serve import (
+    BreakerState,
+    CircuitBreaker,
+    ClosedLoopGenerator,
+    QueryServer,
+    build_serving_system,
+    run_serving,
+)
+from repro.system import System
+from repro.workloads import make_workload
+
+
+def make_system(scheme="cha-tlb", cores=2):
+    system = System(small_config(cores), scheme)
+    workload = make_workload(
+        "dpdk", system, seed=7, num_flows=256, num_buckets=128, num_queries=32
+    )
+    system.warm_llc()
+    return system, workload
+
+
+def submit_nb(system, workload, indices):
+    base = system.mem.alloc(16 * len(indices), align=64)
+    handles = []
+    for j, qidx in enumerate(indices):
+        system.space.write_u64(base + 16 * j, 0)
+        system.space.write_u64(base + 16 * j + 8, 0)
+        handles.append(
+            system.accelerator.submit(
+                QueryRequest(
+                    header_addr=workload.header_addr_for(qidx),
+                    key_addr=workload._query_addrs[qidx],
+                    blocking=False,
+                    result_addr=base + 16 * j,
+                ),
+                system.engine.now,
+            )
+        )
+    return handles
+
+
+def settle(system, handles):
+    for handle in handles:
+        if not handle.done:
+            system.accelerator.wait_for(handle)
+
+
+# --------------------------------------------------------------------- #
+# Slice health: failover, SLICE_DOWN aborts, recovery
+# --------------------------------------------------------------------- #
+
+
+def test_failed_slice_reroutes_to_survivors():
+    system, wl = make_system("cha-tlb")
+    integration = system.integration
+    home = integration.home_node(0, wl.header_addr_for(0), wl._query_addrs[0])
+    system.fail_slice(home)
+    assert integration.home_state(home) is SliceState.FAILED
+    rerouted = integration.home_node(
+        0, wl.header_addr_for(0), wl._query_addrs[0]
+    )
+    assert rerouted != home
+    assert rerouted in integration.routable_homes()
+    # The rerouted query still completes with the oracle answer.
+    handle = system.accelerator.submit(
+        QueryRequest(
+            header_addr=wl.header_addr_for(0), key_addr=wl._query_addrs[0]
+        ),
+        system.engine.now,
+    )
+    system.accelerator.wait_for(handle)
+    assert handle.status is not QueryStatus.ABORTED
+    assert handle.value == wl.expected[0]
+    # Recovery restores the original routing.
+    system.recover_slice(home)
+    assert (
+        integration.home_node(0, wl.header_addr_for(0), wl._query_addrs[0])
+        == home
+    )
+
+
+def test_fail_slice_aborts_in_flight_with_slice_down():
+    system, wl = make_system("cha-tlb")
+    handles = submit_nb(system, wl, list(range(8)))
+    system.engine.advance(5)  # still in the submit network
+    victims = {h._home for h in handles}
+    victim = sorted(victims)[0]
+    system.fail_slice(victim)
+    settle(system, handles)
+    aborted = [h for h in handles if h.status is QueryStatus.ABORTED]
+    for handle in aborted:
+        assert handle.abort_code is AbortCode.SLICE_DOWN
+    for handle in handles:
+        if handle.status is not QueryStatus.ABORTED:
+            qidx = handles.index(handle)
+            assert handle.value == wl.expected[qidx]
+    assert aborted, "at least the victim-bound queries must abort"
+    # Every abort resolves through the software fallback.
+    for handle in aborted:
+        qidx = handles.index(handle)
+        outcome = system.fallback.run_software(
+            lambda qi=qidx: wl.software_lookup(qi),
+            abort_code=AbortCode.SLICE_DOWN,
+        )
+        assert outcome.resolved
+        assert outcome.value == wl.expected[qidx]
+
+
+def test_single_home_scheme_aborts_while_down_then_recovers():
+    system, wl = make_system("device-indirect")
+    (home,) = system.integration.accelerator_homes()
+    system.fail_slice(home)
+    handle = system.accelerator.submit(
+        QueryRequest(
+            header_addr=wl.header_addr_for(1), key_addr=wl._query_addrs[1]
+        ),
+        system.engine.now,
+    )
+    system.accelerator.wait_for(handle)
+    assert handle.status is QueryStatus.ABORTED
+    assert handle.abort_code is AbortCode.SLICE_DOWN
+    system.recover_slice(home)
+    handle = system.accelerator.submit(
+        QueryRequest(
+            header_addr=wl.header_addr_for(1), key_addr=wl._query_addrs[1]
+        ),
+        system.engine.now,
+    )
+    system.accelerator.wait_for(handle)
+    assert handle.value == wl.expected[1]
+
+
+def test_fail_slice_rejects_unknown_home():
+    system, _ = make_system("cha-tlb")
+    with pytest.raises(ConfigurationError):
+        system.fail_slice(10_000)
+
+
+# --------------------------------------------------------------------- #
+# Firmware hot-swap
+# --------------------------------------------------------------------- #
+
+
+def test_firmware_hot_swap_waits_for_drain_then_commits():
+    system, wl = make_system("cha-tlb")
+    handles = submit_nb(system, wl, list(range(8)))
+    system.engine.advance(5)
+    ticket = system.update_firmware([BPlusTreeCfa(), HashOfListsCfa()])
+    assert not ticket.done, "swap must defer until in-flight queries drain"
+    assert not system.firmware.supports(BPlusTreeCfa.TYPE_CODE)
+    system.engine.run()
+    assert ticket.done
+    assert system.firmware.supports(BPlusTreeCfa.TYPE_CODE)
+    assert system.firmware.supports(HashOfListsCfa.TYPE_CODE)
+    settle(system, handles)
+    for qidx, handle in enumerate(handles):
+        assert handle.status is not QueryStatus.ABORTED
+        assert handle.value == wl.expected[qidx]
+    # Homes drained for the swap are healthy again.
+    for home in system.integration.accelerator_homes():
+        assert system.integration.home_state(home) is SliceState.HEALTHY
+
+
+def test_firmware_swap_rolls_back_on_validation_error():
+    system, _ = make_system("cha-tlb")
+    with pytest.raises(FirmwareError):
+        # Duplicate registration without replace: validation fails on the
+        # staged copy; the live table and slice states are untouched.
+        system.update_firmware(
+            [BPlusTreeCfa(), BPlusTreeCfa()], replace=False
+        )
+    assert not system.firmware.supports(BPlusTreeCfa.TYPE_CODE)
+    for home in system.integration.accelerator_homes():
+        assert system.integration.home_state(home) is SliceState.HEALTHY
+
+
+def test_idle_firmware_swap_commits_immediately():
+    system, _ = make_system("device-indirect")
+    ticket = system.update_firmware([BPlusTreeCfa()])
+    assert ticket.done
+    assert system.firmware.supports(BPlusTreeCfa.TYPE_CODE)
+
+
+# --------------------------------------------------------------------- #
+# Deadlines
+# --------------------------------------------------------------------- #
+
+
+def test_deadline_expired_work_is_shed_not_dispatched():
+    # A 60-cycle deadline against a 256-cycle flush timer: requests expire
+    # inside open bursts and must shed with the distinct SLO outcome.
+    config = ServeConfig(
+        tenants=2,
+        deadline_cycles=60,
+        batch_size=16,
+        batch_timeout_cycles=256,
+        think_cycles=10,
+    )
+    report = run_serving(
+        "cha-tlb", requests=60, seed=7, closed_loop=True, serve_config=config
+    )
+    aggregate = report.aggregate
+    assert aggregate["deadline_shed"] > 0
+    assert aggregate["result_errors"] == 0
+    # Liveness: every admitted request still terminates.
+    assert aggregate["availability"] == 1.0
+    assert aggregate["completed"] + aggregate["deadline_shed"] == (
+        aggregate["admitted"]
+    )
+
+
+def test_serve_config_validates_resilience_knobs():
+    with pytest.raises(ConfigurationError):
+        ServeConfig(deadline_cycles=-1)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(breaker_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(hedge_quantile=100.0)
+    with pytest.raises(ConfigurationError):
+        ServeConfig(hedge_multiplier=0.5)
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker
+# --------------------------------------------------------------------- #
+
+
+def breaker_config(**kw):
+    defaults = dict(
+        tenants=2,
+        breaker_window=4,
+        breaker_threshold=0.5,
+        breaker_open_cycles=100,
+        breaker_probes=2,
+    )
+    defaults.update(kw)
+    return ServeConfig(**defaults)
+
+
+def test_breaker_trips_open_and_rejects():
+    breaker = CircuitBreaker(breaker_config())
+    for _ in range(4):
+        breaker.record(0, False, now=10)
+    assert breaker.state_of(0, now=11) is BreakerState.OPEN
+    allowed, retry_after = breaker.allow(0, now=11)
+    assert not allowed
+    assert retry_after == 99  # reopen at 110
+    # The healthy tenant's circuit is independent.
+    assert breaker.allow(1, now=11) == (True, 0)
+
+
+def test_breaker_half_open_probes_then_closes():
+    breaker = CircuitBreaker(breaker_config())
+    for _ in range(4):
+        breaker.record(0, False, now=0)
+    assert breaker.state_of(0, now=100) is BreakerState.HALF_OPEN
+    assert breaker.allow(0, now=100) == (True, 0)
+    assert breaker.allow(0, now=101) == (True, 0)
+    # Probe budget exhausted until verdicts land.
+    allowed, _ = breaker.allow(0, now=102)
+    assert not allowed
+    breaker.record(0, True, now=110)
+    breaker.record(0, True, now=111)
+    assert breaker.state_of(0, now=112) is BreakerState.CLOSED
+    assert breaker.allow(0, now=112) == (True, 0)
+
+
+def test_breaker_probe_failure_retrips():
+    breaker = CircuitBreaker(breaker_config())
+    for _ in range(4):
+        breaker.record(0, False, now=0)
+    assert breaker.state_of(0, now=100) is BreakerState.HALF_OPEN
+    breaker.allow(0, now=100)
+    breaker.record(0, False, now=105)
+    assert breaker.state_of(0, now=106) is BreakerState.OPEN
+
+
+def poisoned_server(config, seed=7):
+    """A server whose tenant-0 queries all point at a corrupt header."""
+    system, built = build_serving_system(
+        "cha-tlb", seed=seed, serve_config=config
+    )
+    bad_header = system.mem.alloc(64, align=64)  # zeroed: VALID flag clear
+
+    class PoisonedServer(QueryServer):
+        def _prepare_nb(self, request):
+            qreq = super()._prepare_nb(request)
+            if request.tenant == 0:
+                qreq.header_addr = bad_header
+            return qreq
+
+    server = PoisonedServer(system, built, config, seed=seed)
+    for tenant in range(config.tenants):
+        server.attach(
+            ClosedLoopGenerator(
+                tenant,
+                config=config,
+                num_requests=40,
+                num_queries=len(built.queries),
+                seed=seed,
+                stats=system.stats,
+            )
+        )
+    return server
+
+
+def test_breaker_isolates_poisoned_tenant():
+    # Baseline: no faults, no breaker.
+    base_config = ServeConfig(tenants=4)
+    baseline = run_serving(
+        "cha-tlb", requests=160, seed=7, closed_loop=True,
+        serve_config=base_config,
+    )
+    # Tenant 0 at 100% aborts (corrupt header), breaker armed.
+    config = ServeConfig(
+        tenants=4,
+        breaker_window=8,
+        breaker_threshold=0.5,
+        breaker_open_cycles=20_000,
+        breaker_probes=2,
+    )
+    report = poisoned_server(config).run()
+    poisoned_row = report.tenant(0)
+    assert poisoned_row["breaker_rejected"] > 0, "open circuit must shed"
+    assert poisoned_row["fallbacks"] > 0
+    assert report.aggregate["result_errors"] == 0
+    # The healthy tenants' p99 stays within 2x of the no-fault baseline.
+    for tenant in (1, 2, 3):
+        assert report.tenant(tenant)["p99"] <= 2 * baseline.tenant(tenant)[
+            "p99"
+        ], f"tenant {tenant} p99 degraded more than 2x"
+
+
+# --------------------------------------------------------------------- #
+# Hedged retries
+# --------------------------------------------------------------------- #
+
+
+def test_hedged_retries_are_bounded_and_correct():
+    config = ServeConfig(
+        tenants=2,
+        hedge_quantile=50.0,
+        hedge_multiplier=1.0,
+        hedge_min_samples=4,
+        hedge_budget=16,
+    )
+    report = run_serving(
+        "cha-tlb", requests=120, seed=7, closed_loop=True, serve_config=config
+    )
+    aggregate = report.aggregate
+    assert 0 < aggregate["hedges"] <= config.hedge_budget
+    # A hedge twin must never double-resolve or corrupt a result slot.
+    assert aggregate["completed"] == 120
+    assert aggregate["result_errors"] == 0
+    assert aggregate["availability"] == 1.0
+
+
+# --------------------------------------------------------------------- #
+# The chaos harness
+# --------------------------------------------------------------------- #
+
+
+def test_chaos_schedule_covers_the_contract():
+    events = chaos_schedule([0, 1, 2, 3], 400)
+    actions = [event.action for event in events]
+    assert actions.count("slice-fail") == 2
+    assert actions.count("slice-recover") == 2
+    assert actions.count("firmware-swap") == 1
+    assert [event.trigger for event in events] == sorted(
+        event.trigger for event in events
+    )
+
+
+def test_chaos_run_meets_contract_and_is_deterministic():
+    report = run_chaos("cha-tlb", seed=7, requests=200)
+    checks = report.checks
+    assert checks["result_errors"] == 0
+    assert checks["failed"] == 0
+    assert checks["availability"] == 1.0
+    assert checks["slice_kills"] == 2
+    assert checks["slice_recoveries"] == 2
+    assert checks["firmware_swaps"] == 1
+    assert checks["swap_committed"]
+    assert checks["extension_programs_live"]
+    assert all(event["fired_cycle"] is not None for event in report.events)
+    # Phase rows segment the timeline at every event.
+    names = [phase["name"] for phase in report.serving["phases"]]
+    assert names[0] == "baseline" and len(names) == 6
+    # Same seed -> byte-identical report.
+    again = run_chaos("cha-tlb", seed=7, requests=200)
+    assert again.dump() == report.dump()
+
+
+def test_chaos_contract_violation_raises():
+    report = run_chaos("cha-tlb", seed=7, requests=200, verify=False)
+    report.checks["result_errors"] = 3
+    from repro.faults.chaos import _verify
+
+    with pytest.raises(ChaosError):
+        _verify(report)

@@ -67,6 +67,36 @@ def test_frontend_drains_tenants_round_robin():
     assert frontend.pending == 0
 
 
+def test_saturated_tenant_cannot_starve_others():
+    # Regression: tenant 0 keeps its queue full while tenants 1/2 trickle;
+    # across a full dispatch window every round-robin scan must still visit
+    # the light tenants — the hot tenant never gets two pops in a row while
+    # another tenant has work queued.
+    config = ServeConfig(tenants=3, queue_depth=8)
+    frontend = Frontend(config)
+    request_id = 0
+    for _ in range(8):
+        request_id += 1
+        frontend.offer(request_for(0, request_id), now=0)
+    for tenant in (1, 2):
+        request_id += 1
+        frontend.offer(request_for(tenant, request_id), now=0)
+    drained = []
+    for _ in range(12):
+        # The saturated tenant instantly refills the slot it just vacated.
+        request = frontend.next_request(now=1)
+        if request is None:
+            break
+        drained.append(request.tenant)
+        if request.tenant == 0:
+            request_id += 1
+            frontend.offer(request_for(0, request_id), now=1)
+    # Both light tenants are served within one full scan of the tenant set,
+    # and back-to-back hot-tenant pops only happen once they are empty.
+    assert drained[:3] == [0, 1, 2]
+    assert drained[3:] == [0] * len(drained[3:])
+
+
 def test_serve_config_validation():
     with pytest.raises(ConfigurationError):
         ServeConfig(tenants=0)
