@@ -13,6 +13,8 @@ from repro.analysis.ablations import (
     qst_size_sweep,
 )
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_ablation_qst_size(run_once, quick):

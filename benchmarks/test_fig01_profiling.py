@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig1_profiling
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig01_profiling(run_once, quick):

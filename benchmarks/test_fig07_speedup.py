@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig7_speedup
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig07_speedup(run_once, quick):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig8_latency_sweep
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig08_latency_sweep(run_once, quick):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig9_end_to_end
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig09_end_to_end(run_once, quick):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig10_tuple_space
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig10_tuple_space(run_once, quick):

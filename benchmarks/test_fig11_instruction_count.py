@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig11_instruction_count
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig11_instruction_count(run_once, quick):

@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import fig12_dynamic_power
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_fig12_dynamic_power(run_once, quick):

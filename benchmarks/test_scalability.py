@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis.scalability import scalability_study
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_scalability(run_once, quick):

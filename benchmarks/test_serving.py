@@ -12,6 +12,8 @@ from repro.analysis.report import ExperimentResult
 from repro.serve import MODE_BATCHED, MODE_BLOCKING, run_serving
 from repro.serve.driver import SCHEME_ORDER
 
+pytestmark = pytest.mark.slow
+
 #: Offered loads swept per scheme (queries/cycle/tenant).
 LOADS = [0.005, 0.01, 0.02]
 

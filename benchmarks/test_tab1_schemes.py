@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import tab1_schemes
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_tab1_schemes(run_once):

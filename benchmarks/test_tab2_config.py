@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import tab2_config
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_tab2_config(run_once):

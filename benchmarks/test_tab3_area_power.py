@@ -4,6 +4,8 @@ import pytest
 
 from repro.analysis import tab3_area_power
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.figure
 def test_tab3_area_power(run_once):

@@ -8,8 +8,12 @@ table/figure, ablation, or serving run from the shell::
     qei tab3
     qei ablation-qst --full
     qei serve --scheme cha-tlb --tenants 4 --requests 20000
+    qei all --jobs 4            # shard experiments over worker processes
+    qei all --no-cache          # ignore + skip the on-disk result cache
+    qei perfbench --quick       # simulator throughput bench -> BENCH_sim.json
 
-Results print as the same fixed-width tables the benchmark harness shows.
+Results print as the same fixed-width tables the benchmark harness shows,
+byte-identical whether computed serially, in parallel, or from cache.
 Unknown experiment names exit with status 2 and a one-line hint.
 """
 
@@ -17,78 +21,21 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Dict
 
-from .analysis import (
-    fig1_profiling,
-    fig7_speedup,
-    fig8_latency_sweep,
-    fig9_end_to_end,
-    fig10_tuple_space,
-    fig11_instruction_count,
-    fig12_dynamic_power,
-    tab1_schemes,
-    tab2_config,
-    tab3_area_power,
+from .analysis.parallel import plan_tasks, run_tasks
+from .analysis.registry import (
+    EXPERIMENTS,
+    TAKES_CHAOS,
+    TAKES_QUICK,
+    TAKES_SEEDED,
+    TAKES_SERVE,
+    TAKES_WORKLOADS,
 )
-from .analysis.ablations import (
-    batch_size_sweep,
-    comparator_placement,
-    flush_cost_study,
-    huge_page_study,
-    micro_tlb_ablation,
-    prefetch_sensitivity,
-    noc_hotspot_study,
-    qst_size_sweep,
-)
-from .analysis.fault_campaign import fault_campaign
-from .analysis.interference import corun_interference
-from .analysis.scalability import scalability_study
+from .analysis.rescache import ResultCache
 from .config import IntegrationScheme
-from .faults.chaos import chaos_experiment
-from .serve import serve_experiment
 
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig1": fig1_profiling,
-    "fig7": fig7_speedup,
-    "fig8": fig8_latency_sweep,
-    "fig9": fig9_end_to_end,
-    "fig10": fig10_tuple_space,
-    "fig11": fig11_instruction_count,
-    "fig12": fig12_dynamic_power,
-    "tab1": tab1_schemes,
-    "tab2": tab2_config,
-    "tab3": tab3_area_power,
-    "ablation-qst": qst_size_sweep,
-    "ablation-comparators": comparator_placement,
-    "ablation-noc": noc_hotspot_study,
-    "ablation-batch": batch_size_sweep,
-    "ablation-microtlb": micro_tlb_ablation,
-    "ablation-flush": flush_cost_study,
-    "ablation-prefetch": prefetch_sensitivity,
-    "ablation-hugepages": huge_page_study,
-    "scalability": scalability_study,
-    "interference": corun_interference,
-    "fault-campaign": fault_campaign,
-    "serve": serve_experiment,
-    "chaos": chaos_experiment,
-}
-
-#: Experiments that accept quick/full and workload filters.
-TAKES_QUICK = {
-    "fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "ablation-qst", "ablation-comparators", "ablation-noc",
-    "ablation-batch", "ablation-microtlb", "ablation-prefetch",
-    "ablation-hugepages",
-    "interference",
-}
-TAKES_WORKLOADS = {"fig1", "fig7", "fig8", "fig9", "fig11", "fig12", "fault-campaign"}
-#: Experiments driven by an explicit seed / fault budget.
-TAKES_SEEDED = {"fault-campaign"}
-#: Experiments driven by the serving-tier options.
-TAKES_SERVE = {"serve"}
-#: The chaos harness: serving options plus determinism repeats.
-TAKES_CHAOS = {"chaos"}
+__all__ = ["EXPERIMENTS", "main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,7 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id, 'list' to enumerate, or 'all' to run everything",
+        help=(
+            "experiment id, 'list' to enumerate, 'all' to run everything, "
+            "or 'perfbench' for the simulator throughput bench"
+        ),
     )
     parser.add_argument(
         "--full",
@@ -115,6 +65,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit results as JSON instead of tables",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment sharding (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache directory (default .repro_cache/, or $REPRO_CACHE_DIR)",
     )
     parser.add_argument(
         "--seed",
@@ -156,12 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve: fixed-concurrency clients instead of Poisson arrivals",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="perfbench: compare against this BENCH_sim.json and fail on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="perfbench: allowed fractional throughput regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_sim.json",
+        help="perfbench: where to write the benchmark JSON (default BENCH_sim.json)",
+    )
     return parser
 
 
-def run_one(name: str, args: argparse.Namespace) -> None:
-    driver = EXPERIMENTS[name]
-    kwargs = {}
+def experiment_kwargs(name: str, args: argparse.Namespace) -> Dict:
+    """The kwargs ``run`` passes to ``EXPERIMENTS[name]`` for these flags."""
+    kwargs: Dict = {}
     if name in TAKES_QUICK:
         kwargs["quick"] = not args.full
     if name in TAKES_WORKLOADS and args.workloads:
@@ -184,8 +168,11 @@ def run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["repeats"] = args.repeats
         if args.scheme:
             kwargs["schemes"] = [args.scheme]
-    result = driver(**kwargs)
-    if args.json:
+    return kwargs
+
+
+def _emit(result, as_json: bool) -> None:
+    if as_json:
         import json
 
         print(
@@ -204,6 +191,14 @@ def run_one(name: str, args: argparse.Namespace) -> None:
         print()
 
 
+def run(names, args: argparse.Namespace) -> None:
+    """Run ``names`` (sharded, parallel, cached as configured) and print."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    tasks = plan_tasks(names, {n: experiment_kwargs(n, args) for n in names})
+    for result in run_tasks(tasks, jobs=max(1, args.jobs), cache=cache):
+        _emit(result, args.json)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
@@ -212,9 +207,18 @@ def main(argv=None) -> int:
             doc = (driver.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<{width}}  {doc}")
         return 0
+    if args.experiment == "perfbench":
+        from .analysis.perfbench import perfbench_main
+
+        return perfbench_main(
+            quick=not args.full,
+            output=args.output,
+            baseline=args.baseline,
+            threshold=args.threshold,
+            as_json=args.json,
+        )
     if args.experiment == "all":
-        for name in sorted(EXPERIMENTS):
-            run_one(name, args)
+        run(sorted(EXPERIMENTS), args)
         return 0
     if args.experiment not in EXPERIMENTS:
         print(
@@ -223,7 +227,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    run_one(args.experiment, args)
+    run([args.experiment], args)
     return 0
 
 

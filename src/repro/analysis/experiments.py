@@ -71,13 +71,45 @@ def _build(name: str, scheme: str, quick: bool, config: Optional[SystemConfig] =
     return system, workload
 
 
-def _pair(name: str, scheme: str, quick: bool, config=None) -> Tuple[RoiRun, RoiRun, System]:
+#: (workload, scheme, quick) -> (baseline, qei, baseline stats delta, qei
+#: stats delta).  Fig. 7/11/12 all time the exact same deterministic ROI
+#: pairs on fresh default-config systems, so within one process (one
+#: ``repro all`` task) each pair runs once and is shared.  Only the
+#: default config is memoized — custom configs (fig8's latency sweep)
+#: always run fresh.  Systems are not retained (they hold the preallocated
+#: cache set tables); only the run results and stats deltas are.
+_PAIR_MEMO: Dict[Tuple[str, str, bool], Tuple[RoiRun, RoiRun, dict, dict]] = {}
+
+
+def _pair_stats(name: str, scheme: str, quick: bool) -> Tuple[RoiRun, RoiRun, dict, dict]:
+    """Memoized baseline/QEI ROI pair with stats deltas around each run."""
+    key = (name, scheme, quick)
+    hit = _PAIR_MEMO.get(key)
+    if hit is None:
+        sys_b, wl_b = _build(name, scheme, quick)
+        before_b = sys_b.stats.snapshot()
+        baseline = run_baseline(sys_b, wl_b)
+        delta_b = sys_b.stats.diff(before_b)
+        sys_q, wl_q = _build(name, scheme, quick)
+        before_q = sys_q.stats.snapshot()
+        qei = run_qei(sys_q, wl_q)
+        delta_q = sys_q.stats.diff(before_q)
+        hit = _PAIR_MEMO[key] = (baseline, qei, delta_b, delta_q)
+    return hit
+
+
+def _pair(
+    name: str, scheme: str, quick: bool, config=None
+) -> Tuple[RoiRun, RoiRun, Optional[System]]:
     """Baseline on one fresh system, QEI on another (fair cold/warm state)."""
-    sys_b, wl_b = _build(name, scheme, quick, config)
-    baseline = run_baseline(sys_b, wl_b)
-    sys_q, wl_q = _build(name, scheme, quick, config)
-    qei = run_qei(sys_q, wl_q)
-    return baseline, qei, sys_q
+    if config is not None:
+        sys_b, wl_b = _build(name, scheme, quick, config)
+        baseline = run_baseline(sys_b, wl_b)
+        sys_q, wl_q = _build(name, scheme, quick, config)
+        qei = run_qei(sys_q, wl_q)
+        return baseline, qei, sys_q
+    baseline, qei, _, _ = _pair_stats(name, scheme, quick)
+    return baseline, qei, None
 
 
 # --------------------------------------------------------------------- #
@@ -312,14 +344,7 @@ def fig12_dynamic_power(
     for name in workloads or list(BENCH_WORKLOADS):
         row = {"workload": name}
         for scheme in schemes:
-            sys_b, wl_b = _build(name, scheme, quick)
-            before_b = sys_b.stats.snapshot()
-            baseline = run_baseline(sys_b, wl_b)
-            delta_b = sys_b.stats.diff(before_b)
-            sys_q, wl_q = _build(name, scheme, quick)
-            before = sys_q.stats.snapshot()
-            qei = run_qei(sys_q, wl_q)
-            delta = sys_q.stats.diff(before)
+            baseline, qei, delta_b, delta = _pair_stats(name, scheme, quick)
             ratio = model.relative_dynamic_power(
                 baseline.core_result,
                 delta_b,

@@ -8,11 +8,20 @@ bucket selection and a deterministic branch-outcome model.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 FNV_OFFSET = 0xCBF29CE484222325
 FNV_PRIME = 0x00000100000001B3
 MASK64 = (1 << 64) - 1
 
+#: Memo size for the pure hash functions below.  Workload key sets are tens
+#: of thousands of distinct byte strings hashed millions of times (every
+#: probe, signature check and branch model re-hashes the key), so an LRU
+#: memo turns the per-byte FNV loop into a dict hit on the hot path.
+_MEMO_SIZE = 1 << 17
 
+
+@lru_cache(maxsize=_MEMO_SIZE)
 def fnv1a64(data: bytes, seed: int = FNV_OFFSET) -> int:
     """64-bit FNV-1a over ``data`` starting from ``seed``."""
     h = seed & MASK64
@@ -22,11 +31,13 @@ def fnv1a64(data: bytes, seed: int = FNV_OFFSET) -> int:
     return h
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def primary_hash(key: bytes) -> int:
     """First cuckoo hash."""
     return fnv1a64(key)
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def secondary_hash(key: bytes) -> int:
     """Second cuckoo hash: an avalanche mix of the primary.
 
@@ -48,16 +59,19 @@ def mix64(x: int) -> int:
     return x
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def signature_of(key: bytes) -> int:
     """Short signature stored in hash buckets to pre-filter comparisons."""
     return mix64(primary_hash(key)) & MASK64
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def lsh_hash(key: bytes, table_index: int) -> int:
     """Per-table hash for locality-sensitive-hashing workloads (FLANN)."""
     return fnv1a64(key, seed=(FNV_OFFSET ^ (0x9E3779B97F4A7C15 * (table_index + 1)) & MASK64))
 
 
+@lru_cache(maxsize=_MEMO_SIZE)
 def branch_outcome(key: bytes, salt: int, mispredict_rate: float) -> bool:
     """Deterministic stand-in for a branch predictor's *misprediction*.
 

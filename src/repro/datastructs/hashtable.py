@@ -86,9 +86,8 @@ class CuckooHashTable(SimStructure):
         return self._bucket_addr(bucket_index) + slot_index * SLOT_BYTES
 
     def _read_slot(self, bucket_index: int, slot_index: int) -> Tuple[int, int]:
-        addr = self._slot(bucket_index, slot_index)
-        space = self.mem.space
-        return space.read_u64(addr), space.read_u64(addr + 8)
+        addr = self.table_addr + bucket_index * self.bucket_bytes + slot_index * SLOT_BYTES
+        return self.mem.space.read_2u64(addr)
 
     def _write_slot(self, bucket_index: int, slot_index: int, sig: int, kv: int) -> None:
         addr = self._slot(bucket_index, slot_index)

@@ -10,8 +10,7 @@ approximation — the paper evaluates single-threaded ROIs, Sec. VI-B).
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import CacheConfig
 from ..sim.stats import StatsRegistry
@@ -39,8 +38,12 @@ class Cache:
         self.config = config
         self.name = name
         self.num_sets = config.num_sets
-        # set index -> OrderedDict[tag, dirty]
-        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.associativity = config.associativity
+        # Preallocated set table (index -> insertion-ordered {tag: dirty}):
+        # the hot access path is one list index plus one dict probe, with no
+        # allocate-on-first-touch branch.  Plain dicts preserve insertion
+        # order, so LRU is pop-and-reinsert.
+        self._sets: List[Dict[int, bool]] = [{} for _ in range(self.num_sets)]
         self.stats = (stats or StatsRegistry()).scoped(name)
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
@@ -52,13 +55,6 @@ class Cache:
     def _index_tag(self, line_addr: int) -> Tuple[int, int]:
         return line_addr % self.num_sets, line_addr // self.num_sets
 
-    def _set(self, index: int) -> "OrderedDict[int, bool]":
-        entry_set = self._sets.get(index)
-        if entry_set is None:
-            entry_set = OrderedDict()
-            self._sets[index] = entry_set
-        return entry_set
-
     # ------------------------------------------------------------------ #
 
     def access(self, line_addr: int, *, write: bool = False) -> bool:
@@ -67,47 +63,48 @@ class Cache:
         Returns True on hit.  On miss the line is *not* filled; callers
         decide (the hierarchy fills after resolving the next level).
         """
-        index, tag = self._index_tag(line_addr)
-        entry_set = self._set(index)
+        tag, index = divmod(line_addr, self.num_sets)
+        entry_set = self._sets[index]
         if tag in entry_set:
-            entry_set.move_to_end(tag)
-            if write:
-                entry_set[tag] = True
-            self._hits.add()
+            dirty = entry_set.pop(tag)
+            entry_set[tag] = dirty or write
+            self._hits.value += 1
             return True
-        self._misses.add()
+        self._misses.value += 1
         return False
 
     def probe(self, line_addr: int) -> bool:
         """Presence check without LRU update or statistics."""
-        index, tag = self._index_tag(line_addr)
-        return tag in self._sets.get(index, ())
+        tag, index = divmod(line_addr, self.num_sets)
+        return tag in self._sets[index]
 
     def fill(self, line_addr: int, *, dirty: bool = False) -> Optional[int]:
         """Insert a line; returns the evicted line address (or None)."""
-        index, tag = self._index_tag(line_addr)
-        entry_set = self._set(index)
+        tag, index = divmod(line_addr, self.num_sets)
+        entry_set = self._sets[index]
         victim_line = None
         if tag in entry_set:
-            entry_set.move_to_end(tag)
-            entry_set[tag] = entry_set[tag] or dirty
+            was_dirty = entry_set.pop(tag)
+            entry_set[tag] = was_dirty or dirty
             return None
-        if len(entry_set) >= self.config.associativity:
-            victim_tag, victim_dirty = entry_set.popitem(last=False)
+        if len(entry_set) >= self.associativity:
+            victim_tag = next(iter(entry_set))
+            victim_dirty = entry_set.pop(victim_tag)
             victim_line = victim_tag * self.num_sets + index
-            self._evictions.add()
+            self._evictions.value += 1
             if victim_dirty:
-                self._writebacks.add()
+                self._writebacks.value += 1
         entry_set[tag] = dirty
         return victim_line
 
     def invalidate(self, line_addr: Optional[int] = None) -> None:
         """Drop one line, or flush everything when ``line_addr`` is None."""
         if line_addr is None:
-            self._sets.clear()
+            for entry_set in self._sets:
+                entry_set.clear()
             return
-        index, tag = self._index_tag(line_addr)
-        self._sets.get(index, OrderedDict()).pop(tag, None)
+        tag, index = divmod(line_addr, self.num_sets)
+        self._sets[index].pop(tag, None)
 
     # ------------------------------------------------------------------ #
 
@@ -121,7 +118,7 @@ class Cache:
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets.values())
+        return sum(len(s) for s in self._sets)
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

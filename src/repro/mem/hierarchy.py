@@ -86,6 +86,11 @@ class MemoryHierarchy:
         self._hop_latency = hop_latency or self._manhattan_hops
         self._noc_charge = noc_charge
         self._llc_latency = config.llc.latency_cycles
+        self._num_slices = len(self.llc_slices)
+        # line -> home slice memo: the NUCA hash is a pure function of the
+        # line address and slice count, and workloads touch the same lines
+        # millions of times.
+        self._slice_memo: dict[int, int] = {}
         self._accesses = self.stats.counter("accesses")
         self._dram_accesses = self.stats.counter("dram_accesses")
         #: Optional next-line prefetcher at the L2 (off by default so the
@@ -106,7 +111,11 @@ class MemoryHierarchy:
         return hops * per_hop
 
     def slice_of(self, line_addr: int) -> int:
-        return nuca_slice_hash(line_addr, len(self.llc_slices))
+        memo = self._slice_memo
+        home = memo.get(line_addr)
+        if home is None:
+            home = memo[line_addr] = nuca_slice_hash(line_addr, self._num_slices)
+        return home
 
     @staticmethod
     def line_of(paddr: int) -> int:
@@ -131,8 +140,8 @@ class MemoryHierarchy:
         """
         if not 0 <= core_id < len(self.l1):
             raise ConfigurationError(f"core_id {core_id} out of range")
-        self._accesses.add()
-        line = self.line_of(paddr)
+        self._accesses.value += 1
+        line = paddr // CACHELINE_BYTES
         l1 = self.l1[core_id]
         l2 = self.l2[core_id]
         l1_lat = l1.config.latency_cycles
@@ -172,8 +181,8 @@ class MemoryHierarchy:
         line is a different slice, the request crosses the mesh (this is rare
         for QEI because comparisons are routed to the home slice up front).
         """
-        line = self.line_of(paddr)
-        self._accesses.add()
+        line = paddr // CACHELINE_BYTES
+        self._accesses.value += 1
         return self._access_llc(line, src_node=slice_id, write=write, now=now)
 
     def _access_llc(
@@ -193,7 +202,7 @@ class MemoryHierarchy:
         latency = lead_in + hop_cycles + self._llc_latency
         if llc.access(line, write=write):
             return AccessResult(latency, CacheLevelName.LLC, home, hop_cycles)
-        self._dram_accesses.add()
+        self._dram_accesses.value += 1
         latency += self.dram.access(line, now + latency)
         llc.fill(line, dirty=write)
         return AccessResult(latency, CacheLevelName.DRAM, home, hop_cycles)

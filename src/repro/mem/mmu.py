@@ -69,7 +69,7 @@ class Mmu:
         for small pages, or a tagged huge-page number — so one slot covers
         an entire 2MB mapping.
         """
-        self._translations.add()
+        self._translations.value += 1
         key, base_paddr, span = self.space.translation_entry(vaddr, access)
         offset = vaddr % span
 
@@ -81,9 +81,10 @@ class Mmu:
                 self._fill_upper_levels(level, key, cached_base)
                 return Translation(cached_base + offset, cycles, level)
 
-        # Full page walk (the functional lookup above already resolved it).
+        # Full page walk (the functional lookup above already resolved it,
+        # memoized in :meth:`AddressSpace.translation_entry`).
         cycles += self.page_walk_cycles
-        self._walks.add()
+        self._walks.value += 1
         self._fill_upper_levels(len(self.tlbs), key, base_paddr)
         return Translation(base_paddr + offset, cycles, None)
 

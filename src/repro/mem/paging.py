@@ -17,6 +17,8 @@ from ..config import PAGE_BYTES
 from ..errors import ProtectionFault, SegmentationFault, SimulationError
 from .physical import PhysicalMemory
 
+MASK64 = (1 << 64) - 1
+
 
 @dataclass
 class PageTableEntry:
@@ -84,9 +86,28 @@ class AddressSpace:
         self.physical = physical
         self.asid = asid
         self.page_bytes = page_bytes
+        #: Shift/mask forms of the page geometry for the u64 fast paths
+        #: (page sizes are powers of two; the constructor enforces it).
+        if page_bytes & (page_bytes - 1):
+            raise SimulationError(f"page_bytes must be a power of two, got {page_bytes}")
+        self._page_shift = page_bytes.bit_length() - 1
+        self._page_mask = page_bytes - 1
+        self._u64_limit = page_bytes - 8
+        self._u128_limit = page_bytes - 16
         self.page_table = PageTable(page_bytes)
         #: huge-page number -> base frame of a physically contiguous run.
         self._huge_pages: Dict[int, int] = {}
+        #: (vpn, access) -> (tlb_key, base_paddr, span) memo for the pure
+        #: functional walk.  Invalidated wholesale on any mapping mutation
+        #: (map/unmap/restore); faulting lookups are never cached so
+        #: segfault/protection semantics are unchanged.
+        self._walk_memo: Dict[Tuple[int, str], Tuple[int, int, int]] = {}
+        #: vpn -> (frame bytearray, page base offset) direct-access memos for
+        #: the u64 fast paths, split by permission.  The bytearray is the
+        #: live backing store (mutated in place by all writers), so a memo
+        #: hit needs no translation at all.  Cleared with ``_walk_memo``.
+        self._frame_memo_r: Dict[int, Tuple[bytearray, int]] = {}
+        self._frame_memo_w: Dict[int, Tuple[bytearray, int]] = {}
 
     # ------------------------------------------------------------------ #
     # Mapping
@@ -101,6 +122,9 @@ class AddressSpace:
             raise SimulationError("refusing to map the zero page")
         frame = self.physical.allocate_frame()
         self.page_table.map(vpn, frame, writable=writable)
+        self._walk_memo.clear()
+        self._frame_memo_r.clear()
+        self._frame_memo_w.clear()
         return frame
 
     def map_huge_page(self, vaddr: int) -> int:
@@ -120,6 +144,9 @@ class AddressSpace:
         frames = self.HUGE_PAGE_BYTES // self.page_bytes
         base_frame = self.physical.allocate_contiguous(frames)
         self._huge_pages[hpn] = base_frame
+        self._walk_memo.clear()
+        self._frame_memo_r.clear()
+        self._frame_memo_w.clear()
         return base_frame
 
     def unmap_page(self, vaddr: int, *, free_frame: bool = True) -> PageTableEntry:
@@ -131,6 +158,9 @@ class AddressSpace:
         """
         vpn = vaddr // self.page_bytes
         entry = self.page_table.unmap(vpn)
+        self._walk_memo.clear()
+        self._frame_memo_r.clear()
+        self._frame_memo_w.clear()
         if free_frame:
             self.physical.free_frame(entry.frame_number)
         return entry
@@ -140,6 +170,9 @@ class AddressSpace:
         self.page_table.map(
             vaddr // self.page_bytes, entry.frame_number, writable=entry.writable
         )
+        self._walk_memo.clear()
+        self._frame_memo_r.clear()
+        self._frame_memo_w.clear()
 
     def is_mapped(self, vaddr: int) -> bool:
         if vaddr // self.HUGE_PAGE_BYTES in self._huge_pages:
@@ -150,28 +183,41 @@ class AddressSpace:
         """(tlb_key, base_paddr, span) for the page covering ``vaddr``.
 
         Huge pages return one entry spanning 2MB (a single TLB slot covers
-        the whole region); small pages return per-4KB entries.
+        the whole region); small pages return per-4KB entries.  Successful
+        walks are memoized per (vpn, access) — the result is a pure function
+        of the mapping state, which invalidates the memo when it changes.
         """
+        memo_key = (vaddr // self.page_bytes, access)
+        cached = self._walk_memo.get(memo_key)
+        if cached is not None:
+            return cached
         if vaddr < 0:
             raise SegmentationFault(vaddr)
         hpn = vaddr // self.HUGE_PAGE_BYTES
         base_frame = self._huge_pages.get(hpn)
         if base_frame is not None:
-            return (
+            result = (
                 self.HUGE_KEY_BASE + hpn,
                 base_frame * self.page_bytes,
                 self.HUGE_PAGE_BYTES,
             )
-        vpn = vaddr // self.page_bytes
+            self._walk_memo[memo_key] = result
+            return result
+        vpn = memo_key[0]
         entry = self.page_table.lookup(vpn)
         if entry is None:
             raise SegmentationFault(vaddr)
         if not entry.permits(access):
             raise ProtectionFault(vaddr, access)
-        return vpn, entry.frame_number * self.page_bytes, self.page_bytes
+        result = (vpn, entry.frame_number * self.page_bytes, self.page_bytes)
+        self._walk_memo[memo_key] = result
+        return result
 
     def translate(self, vaddr: int, access: str = "r") -> int:
         """Virtual -> physical, raising simulated faults on bad accesses."""
+        cached = self._walk_memo.get((vaddr // self.page_bytes, access))
+        if cached is not None:
+            return cached[1] + vaddr % cached[2]
         _, base_paddr, span = self.translation_entry(vaddr, access)
         return base_paddr + vaddr % span
 
@@ -180,6 +226,10 @@ class AddressSpace:
     # ------------------------------------------------------------------ #
 
     def read(self, vaddr: int, length: int) -> bytes:
+        # Fast path: the access stays inside one page (the overwhelmingly
+        # common case for the fixed-width accessors below).
+        if 0 < length and vaddr % self.page_bytes + length <= self.page_bytes:
+            return self.physical.read(self.translate(vaddr, "r"), length)
         out = bytearray()
         addr, remaining = vaddr, length
         while remaining:
@@ -191,6 +241,9 @@ class AddressSpace:
         return bytes(out)
 
     def write(self, vaddr: int, data: bytes) -> None:
+        if data and vaddr % self.page_bytes + len(data) <= self.page_bytes:
+            self.physical.write(self.translate(vaddr, "w"), data)
+            return
         addr = vaddr
         view = memoryview(data)
         while view:
@@ -201,12 +254,67 @@ class AddressSpace:
             view = view[chunk:]
 
     # Convenience fixed-width accessors (little-endian, like x86).
+    #
+    # ``read_u64``/``write_u64`` are the simulator's single hottest calls
+    # (every slot/pointer/signature fetch in every data structure), so they
+    # fuse the memoized walk with direct frame access instead of stacking
+    # read() -> translate() -> PhysicalMemory.read().  The fast path only
+    # fires for an in-page access whose walk is already memoized; everything
+    # else (page-crossers, first touches, faults) takes the general path.
 
     def read_u64(self, vaddr: int) -> int:
-        return int.from_bytes(self.read(vaddr, 8), "little")
+        offset = vaddr & self._page_mask
+        vpn = vaddr >> self._page_shift
+        entry = self._frame_memo_r.get(vpn)
+        if entry is not None and offset <= self._u64_limit:
+            base = entry[1] + offset
+            return int.from_bytes(entry[0][base : base + 8], "little")
+        value = int.from_bytes(self.read(vaddr, 8), "little")
+        if offset <= self._u64_limit:
+            self._memoize_frame(vpn, "r", self._frame_memo_r)
+        return value
+
+    def read_2u64(self, vaddr: int) -> Tuple[int, int]:
+        """Two consecutive u64s in one access (hot for 16-byte slots)."""
+        offset = vaddr & self._page_mask
+        entry = self._frame_memo_r.get(vaddr >> self._page_shift)
+        if entry is not None and offset <= self._u128_limit:
+            base = entry[1] + offset
+            word = int.from_bytes(entry[0][base : base + 16], "little")
+            return word & MASK64, word >> 64
+        return self.read_u64(vaddr), self.read_u64(vaddr + 8)
 
     def write_u64(self, vaddr: int, value: int) -> None:
-        self.write(vaddr, (value & (2**64 - 1)).to_bytes(8, "little"))
+        offset = vaddr & self._page_mask
+        vpn = vaddr >> self._page_shift
+        entry = self._frame_memo_w.get(vpn)
+        if entry is not None and offset <= self._u64_limit:
+            base = entry[1] + offset
+            entry[0][base : base + 8] = (value & MASK64).to_bytes(8, "little")
+            return
+        self.write(vaddr, (value & MASK64).to_bytes(8, "little"))
+        if offset <= self._u64_limit:
+            self._memoize_frame(vpn, "w", self._frame_memo_w)
+
+    def _memoize_frame(self, vpn: int, access: str, memo: Dict[int, Tuple[bytearray, int]]) -> None:
+        """Remember the live frame backing ``vpn`` for direct u64 access.
+
+        Only pages that map wholly onto one physical frame qualify (always
+        true for the standard 4KB page == 4KB frame configuration, including
+        pages inside a huge-page run, whose sub-pages are frame-aligned).
+        """
+        physical = self.physical
+        if self.page_bytes != physical.frame_bytes:
+            return
+        base_paddr = self.translate(vpn * self.page_bytes, access)
+        frame_number, base_offset = divmod(base_paddr, physical.frame_bytes)
+        if base_offset:
+            return
+        frame = physical._frames.get(frame_number)
+        if frame is None:
+            frame = bytearray(physical.frame_bytes)
+            physical._frames[frame_number] = frame
+        memo[vpn] = (frame, 0)
 
     def read_u32(self, vaddr: int) -> int:
         return int.from_bytes(self.read(vaddr, 4), "little")

@@ -89,6 +89,17 @@ class PhysicalMemory:
 
     def read(self, paddr: int, length: int) -> bytes:
         """Read ``length`` bytes at physical address ``paddr``."""
+        # Fast path: a non-empty access confined to one frame.
+        frame_number, offset = divmod(paddr, self.frame_bytes)
+        end = offset + length
+        if 0 < length and 0 <= paddr and end <= self.frame_bytes:
+            if paddr + length > self.capacity_bytes:
+                self._check_range(paddr, length)
+            frame = self._frames.get(frame_number)
+            if frame is None:
+                frame = bytearray(self.frame_bytes)
+                self._frames[frame_number] = frame
+            return bytes(frame[offset:end])
         self._check_range(paddr, length)
         out = bytearray()
         remaining = length
@@ -103,7 +114,19 @@ class PhysicalMemory:
 
     def write(self, paddr: int, data: bytes) -> None:
         """Write ``data`` at physical address ``paddr``."""
-        self._check_range(paddr, len(data))
+        length = len(data)
+        frame_number, offset = divmod(paddr, self.frame_bytes)
+        end = offset + length
+        if 0 < length and 0 <= paddr and end <= self.frame_bytes:
+            if paddr + length > self.capacity_bytes:
+                self._check_range(paddr, length)
+            frame = self._frames.get(frame_number)
+            if frame is None:
+                frame = bytearray(self.frame_bytes)
+                self._frames[frame_number] = frame
+            frame[offset:end] = data
+            return
+        self._check_range(paddr, length)
         addr = paddr
         view = memoryview(data)
         while view:

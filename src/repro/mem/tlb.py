@@ -8,8 +8,7 @@ Core-integrated scheme's shared L2-TLB).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..config import TlbConfig
 from ..sim.stats import StatsRegistry
@@ -24,9 +23,9 @@ class Tlb:
         self.config = config
         self.name = name
         self.num_sets = config.entries // config.associativity
-        self._sets: Dict[int, OrderedDict[int, int]] = {
-            i: OrderedDict() for i in range(self.num_sets)
-        }
+        self.associativity = config.associativity
+        # Insertion-ordered {vpn: pfn} per set; LRU is pop-and-reinsert.
+        self._sets: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
         self.stats = (stats or StatsRegistry()).scoped(name)
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
@@ -37,33 +36,34 @@ class Tlb:
 
     def lookup(self, vpn: int) -> Optional[int]:
         """Return the cached PFN for ``vpn``, updating LRU, or None."""
-        entry_set = self._sets[self._set_index(vpn)]
+        entry_set = self._sets[vpn % self.num_sets]
         if vpn in entry_set:
-            entry_set.move_to_end(vpn)
-            self._hits.add()
-            return entry_set[vpn]
-        self._misses.add()
+            pfn = entry_set.pop(vpn)
+            entry_set[vpn] = pfn
+            self._hits.value += 1
+            return pfn
+        self._misses.value += 1
         return None
 
     def insert(self, vpn: int, pfn: int) -> None:
         """Fill the TLB after a page walk, evicting LRU if needed."""
-        entry_set = self._sets[self._set_index(vpn)]
+        entry_set = self._sets[vpn % self.num_sets]
         if vpn in entry_set:
-            entry_set.move_to_end(vpn)
+            del entry_set[vpn]
             entry_set[vpn] = pfn
             return
-        if len(entry_set) >= self.config.associativity:
-            entry_set.popitem(last=False)
-            self._evictions.add()
+        if len(entry_set) >= self.associativity:
+            del entry_set[next(iter(entry_set))]
+            self._evictions.value += 1
         entry_set[vpn] = pfn
 
     def invalidate(self, vpn: Optional[int] = None) -> None:
         """Shoot down one VPN, or flush the whole TLB when ``vpn`` is None."""
         if vpn is None:
-            for entry_set in self._sets.values():
+            for entry_set in self._sets:
                 entry_set.clear()
             return
-        self._sets[self._set_index(vpn)].pop(vpn, None)
+        self._sets[vpn % self.num_sets].pop(vpn, None)
 
     @property
     def hits(self) -> int:
@@ -75,7 +75,7 @@ class Tlb:
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets.values())
+        return sum(len(s) for s in self._sets)
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -3,41 +3,82 @@
 Components schedule callables at absolute or relative cycle times; the engine
 pops events in (time, sequence) order so same-cycle events run in scheduling
 order, which keeps runs deterministic.
+
+The queue holds plain ``(time, seq, event)`` tuples: heap comparisons stop at
+``seq`` (unique per event), so the :class:`Event` object itself never gets
+compared, and events carry no ordering machinery — just ``__slots__``.
+Cancelled events are skipped lazily on pop, and the queue is compacted in
+place once cancelled entries outnumber live ones (see
+:attr:`Engine.COMPACT_MIN_CANCELLED`), so long-lived simulations that cancel
+many timers (hedge/flush timers in the serving tier) don't leak heap space.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
 
-@dataclass(order=True)
 class Event:
-    """One scheduled callback.  Ordered by (time, seq)."""
+    """One scheduled callback.
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    The engine orders heap entries by ``(time, seq)``; the event object is
+    payload only and never participates in comparisons.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], None],
+        engine: "Optional[Engine]" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._note_cancel()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{state})"
 
 
 class Engine:
     """Priority-queue event loop with integer cycle timestamps."""
 
+    #: Compact the heap only once at least this many cancelled entries have
+    #: accumulated (and they outnumber live entries) — tiny queues aren't
+    #: worth an O(n) sweep.
+    COMPACT_MIN_CANCELLED = 64
+
+    __slots__ = (
+        "_queue",
+        "_seq",
+        "_now",
+        "_running",
+        "events_processed",
+        "_cancelled",
+    )
+
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._seq = 0
         self._now = 0
         self._running = False
         self.events_processed = 0
+        self._cancelled = 0  # cancelled entries still sitting in the heap
 
     @property
     def now(self) -> int:
@@ -56,21 +97,39 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time}; current time is {self._now}"
             )
-        event = Event(time, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled
+
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact once the dead weight dominates."""
+        self._cancelled += 1
+        queue = self._queue
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(queue)
+        ):
+            # In-place so loops holding a local binding to the queue (run's
+            # hot loop) keep seeing the live list.
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
+            self._cancelled = 0
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = event.time
+            self._now = time
             self.events_processed += 1
             event.callback()
             return True
@@ -90,20 +149,26 @@ class Engine:
             raise SimulationError("Engine.run is not reentrant")
         self._running = True
         processed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                time, _seq, event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    self._cancelled -= 1
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     self._now = until
                     break
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
-                self.step()
+                pop(queue)
+                self._now = time
+                self.events_processed += 1
+                event.callback()
                 processed += 1
             else:
                 if until is not None:
@@ -111,6 +176,14 @@ class Engine:
         finally:
             self._running = False
         return self._now
+
+    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
+        """Fast-forward to absolute cycle ``time``, running due events."""
+        return self.run(until=time, max_events=max_events)
+
+    def drain(self, max_events: Optional[int] = None) -> int:
+        """Run every queued event to completion."""
+        return self.run(max_events=max_events)
 
     def advance(self, cycles: int) -> int:
         """Run events for the next ``cycles`` cycles and advance time."""

@@ -128,7 +128,7 @@ class PercentileSketch:
         self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
         self._log_gamma = math.log(self._gamma)
         self._buckets: Dict[int, int] = {}
-        self._low_count = 0  # values in [0, 1): below bucket resolution
+        self._low_count = 0  # exact zeros, which no log bucket can hold
         self._count = 0
         self._total = 0.0
         self._min = math.inf
@@ -143,7 +143,7 @@ class PercentileSketch:
         self._total += value
         self._min = min(self._min, value)
         self._max = max(self._max, value)
-        if value < 1.0:
+        if value == 0.0:
             self._low_count += 1
             return
         index = int(math.floor(math.log(value) / self._log_gamma))
@@ -188,9 +188,8 @@ class PercentileSketch:
         rank = max(1, math.ceil(pct / 100.0 * self._count))
         cumulative = self._low_count
         if rank <= cumulative:
-            # Sub-unit values are stored exactly enough: they all round to
-            # the [0, 1) band, whose representative is its midpoint.
-            return min(max(0.5, self._min), self._max)
+            # The zero band only ever holds exact zeros.
+            return 0.0
         for index in sorted(self._buckets):
             cumulative += self._buckets[index]
             if cumulative >= rank:

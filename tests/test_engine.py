@@ -97,3 +97,63 @@ def test_step_returns_false_when_empty():
     engine.schedule(1, lambda: None)
     assert engine.step() is True
     assert engine.step() is False
+
+
+def test_cancelled_events_are_compacted_out_of_the_heap():
+    """Mass cancellation must shrink the queue, not leave tombstones forever."""
+    engine = Engine()
+    keep = [engine.schedule(1000 + i, lambda: None) for i in range(10)]
+    doomed = [engine.schedule(i + 1, lambda: None) for i in range(500)]
+    assert len(engine._queue) == 510
+    for event in doomed:
+        event.cancel()
+    # Compaction trips repeatedly as cancelled entries come to dominate the
+    # heap; only a sub-threshold residue of tombstones may remain.
+    assert len(engine._queue) < len(keep) + 2 * Engine.COMPACT_MIN_CANCELLED
+    assert engine.pending() == len(keep)
+    # The survivors still fire, in order, at the right times.
+    fired = []
+    for event in keep:
+        event.callback = lambda t=event.time: fired.append(t)
+    engine.run()
+    assert fired == sorted(e.time for e in keep)
+
+
+def test_small_cancel_counts_stay_lazy():
+    """Below the compaction floor, cancels are tombstoned, not rebuilt."""
+    engine = Engine()
+    events = [engine.schedule(i + 1, lambda: None) for i in range(20)]
+    events[0].cancel()
+    assert len(engine._queue) == 20  # tombstone left in place
+    assert engine.pending() == 19
+    engine.run()
+    assert engine.events_processed == 19
+
+
+def test_cancelled_count_resets_after_run():
+    engine = Engine()
+    hits = []
+    for i in range(100):
+        event = engine.schedule(i + 1, lambda i=i: hits.append(i))
+        if i % 2:
+            event.cancel()
+    engine.run()
+    assert hits == list(range(0, 100, 2))
+    assert engine.pending() == 0
+    # A fresh burst of schedule/cancel still behaves after the drain.
+    again = engine.schedule(105, lambda: hits.append(-1))
+    again.cancel()
+    engine.run()
+    assert -1 not in hits
+
+
+def test_run_until_and_drain():
+    engine = Engine()
+    seen = []
+    for t in (5, 10, 15):
+        engine.schedule(t, lambda t=t: seen.append(t))
+    assert engine.run_until(10) == 10
+    assert seen == [5, 10]
+    assert engine.now == 10
+    assert engine.drain() == 15
+    assert seen == [5, 10, 15]

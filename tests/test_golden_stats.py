@@ -1,0 +1,109 @@
+"""Golden-stats guard: the hot-path optimizations must not change timing.
+
+``golden_stats.json`` was captured from the pre-optimization seed tree.  The
+tests replay the same workload/scheme pairs and assert simulated cycle
+counts, instruction counts and the *full* stats snapshot (hashed) are
+bit-identical — so any micro-optimization that accidentally changes
+simulated semantics (an extra TLB fill, a skipped counter, a reordered
+event) fails loudly.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python tests/test_golden_stats.py --capture
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).with_name("golden_stats.json")
+
+#: (workload, scheme) pairs covering a sliced scheme and the core scheme.
+PAIRS = [
+    ("dpdk", "cha-tlb"),
+    ("dpdk", "core-integrated"),
+    ("rocksdb", "cha-tlb"),
+    ("rocksdb", "core-integrated"),
+    ("flann", "cha-tlb"),
+    ("flann", "core-integrated"),
+]
+
+SERVE_CASES = [
+    ("cha-tlb", 2, 600, 7),
+    ("core-integrated", 2, 600, 7),
+]
+
+
+def _snapshot_hash(stats) -> str:
+    payload = json.dumps(
+        {k: v for k, v in sorted(stats.snapshot().items())}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _measure_pair(workload: str, scheme: str) -> dict:
+    from repro.analysis.experiments import _build
+    from repro.workloads import run_baseline, run_qei
+
+    sys_b, wl_b = _build(workload, scheme, quick=True)
+    baseline = run_baseline(sys_b, wl_b)
+    sys_q, wl_q = _build(workload, scheme, quick=True)
+    qei = run_qei(sys_q, wl_q)
+    return {
+        "baseline_cycles": baseline.cycles,
+        "baseline_instructions": baseline.instructions,
+        "qei_cycles": qei.cycles,
+        "qei_instructions": qei.instructions,
+        "baseline_stats_sha256": _snapshot_hash(sys_b.stats),
+        "qei_stats_sha256": _snapshot_hash(sys_q.stats),
+    }
+
+
+def _measure_serve(scheme: str, tenants: int, requests: int, seed: int) -> dict:
+    from repro.serve import serve_experiment
+
+    result = serve_experiment(
+        schemes=[scheme], tenants=tenants, requests=requests, seed=seed
+    )
+    report = result.format().encode()
+    return {"report_sha256": hashlib.sha256(report).hexdigest()}
+
+
+def capture() -> dict:
+    golden = {"pairs": {}, "serve": {}}
+    for workload, scheme in PAIRS:
+        golden["pairs"][f"{workload}/{scheme}"] = _measure_pair(workload, scheme)
+    for scheme, tenants, requests, seed in SERVE_CASES:
+        key = f"{scheme}/t{tenants}/r{requests}/s{seed}"
+        golden["serve"][key] = _measure_serve(scheme, tenants, requests, seed)
+    return golden
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.skip("golden_stats.json missing; run --capture first")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("workload,scheme", PAIRS)
+def test_roi_pair_matches_golden(workload, scheme):
+    golden = _load_golden()["pairs"][f"{workload}/{scheme}"]
+    assert _measure_pair(workload, scheme) == golden
+
+
+@pytest.mark.parametrize("scheme,tenants,requests,seed", SERVE_CASES)
+def test_serve_report_matches_golden(scheme, tenants, requests, seed):
+    golden = _load_golden()["serve"][f"{scheme}/t{tenants}/r{requests}/s{seed}"]
+    assert _measure_serve(scheme, tenants, requests, seed) == golden
+
+
+if __name__ == "__main__":
+    if "--capture" not in sys.argv:
+        sys.exit("usage: python tests/test_golden_stats.py --capture")
+    GOLDEN_PATH.write_text(json.dumps(capture(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
