@@ -10,6 +10,8 @@ table/figure, ablation, or serving run from the shell::
     qei serve --scheme cha-tlb --tenants 4 --requests 20000
     qei all --jobs 4            # shard experiments over worker processes
     qei all --no-cache          # ignore + skip the on-disk result cache
+    qei all --no-snapshot       # rebuild workloads instead of reusing snapshots
+    qei fig7 --profile fig7.prof  # cProfile the run, dump stats to fig7.prof
     qei perfbench --quick       # simulator throughput bench -> BENCH_sim.json
 
 Results print as the same fixed-width tables the benchmark harness shows,
@@ -77,6 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help="disable warm-system snapshot reuse; rebuild every workload "
+        "from scratch (also: QEI_NO_SNAPSHOT=1)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="wrap the run in cProfile and dump stats to PATH "
+        "(inspect with 'python -m pstats PATH')",
     )
     parser.add_argument(
         "--cache-dir",
@@ -201,6 +215,25 @@ def run(names, args: argparse.Namespace) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_snapshot:
+        from .analysis import snapshot
+
+        snapshot.set_enabled(False)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _dispatch(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile}", file=sys.stderr)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "list":
         width = max(len(n) for n in EXPERIMENTS)
         for name, driver in sorted(EXPERIMENTS.items()):

@@ -1,0 +1,139 @@
+"""Warm-system snapshots: build each workload's memory image once, reuse it.
+
+Every (workload, scheme) sweep task — fig7/fig11/fig12 shards, perfbench
+rounds, the golden-stats pairs — starts by populating an identical process
+memory: allocate frames, fill page tables, insert every flow/object/item
+into the data structure.  That setup is pure function of the workload name
+and its parameters; only the *runs* afterwards depend on the integration
+scheme.  So we capture the functional state once per (workload, params)
+— the :class:`~repro.datastructs.base.ProcessMemory` (physical frames,
+page tables, allocator) plus the workload's own attributes (data-structure
+roots, query lists, RNG state) — and restore it for every later build by
+deep-copying the template instead of re-running O(dataset) population.
+
+Bit-identity argument: the template is captured *before* any ROI runs, so
+it equals exactly what a fresh build produces; ``deepcopy`` preserves all
+internal aliasing (data structures hold the same ``mem`` object; the
+address space's frame memos alias the physical frame bytearrays) because
+memory and workload state are copied in one joint ``deepcopy`` call.  The
+restored :class:`~repro.system.System` is constructed fresh per scheme —
+caches, TLBs, accelerator sizing and stats all start cold, exactly as
+after an ordinary build.  ``tests/test_golden_stats.py`` holds this path
+to the same hashes as cold builds.
+
+Snapshots apply only to default-config systems (``config is None``);
+custom configs (fig8's latency sweep) always build fresh, mirroring the
+``_PAIR_MEMO`` policy in :mod:`repro.analysis.experiments`.
+
+Set ``QEI_NO_SNAPSHOT=1`` (or pass ``--no-snapshot`` to ``python -m
+repro``) to disable and rebuild everything from scratch.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import sys
+from typing import Dict, Optional, Set, Tuple
+
+from ..system import System
+from ..workloads.base import QueryWorkload
+
+_Key = Tuple[str, Tuple[Tuple[str, object], ...]]
+
+#: (workload name, frozen params) -> captured template.
+_TEMPLATES: Dict[_Key, "WorkloadSnapshot"] = {}
+
+#: Keys whose capture blew the deepcopy recursion limit — skip, don't retry.
+_UNCOPYABLE: Set[_Key] = set()
+
+#: Linked data structures (the Aho-Corasick trie's node graph) can chain
+#: deeper than CPython's default 1000-frame limit under ``deepcopy``; raise
+#: it just for the copy.  Bounded, so a genuinely cyclic pathology still
+#: fails instead of exhausting the C stack.
+_RECURSION_LIMIT = 20_000
+
+
+def _deepcopy(obj):
+    old = sys.getrecursionlimit()
+    if old < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+    try:
+        return copy.deepcopy(obj)
+    finally:
+        sys.setrecursionlimit(old)
+
+_enabled = os.environ.get("QEI_NO_SNAPSHOT", "").lower() not in ("1", "true", "yes")
+
+
+def enabled() -> bool:
+    """Whether warm-system snapshot reuse is active in this process."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Turn snapshot reuse on/off (e.g. ``--no-snapshot``, worker init)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+def clear() -> None:
+    """Drop all captured templates (tests, memory pressure)."""
+    _TEMPLATES.clear()
+    _UNCOPYABLE.clear()
+
+
+def _key(name: str, params: dict) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+    return name, tuple(sorted(params.items()))
+
+
+class WorkloadSnapshot:
+    """A deep-copied functional image of one populated workload.
+
+    ``capture`` must run after :meth:`QueryWorkload.build` and before any
+    ROI run — the template then matches a fresh build exactly.
+    """
+
+    __slots__ = ("_cls", "_template")
+
+    def __init__(self, system: System, workload: QueryWorkload) -> None:
+        self._cls = type(workload)
+        state = {k: v for k, v in workload.__dict__.items() if k != "system"}
+        # One joint deepcopy keeps every shared reference consistent:
+        # data structures hold this same mem; AddressSpace frame memos
+        # alias the physical frames' bytearrays.
+        self._template = _deepcopy((system.mem, state))
+
+    def restore(self, scheme: str) -> Tuple[System, QueryWorkload]:
+        """A fresh cold System for ``scheme`` with the warm memory image."""
+        mem, state = _deepcopy(self._template)
+        system = System(None, scheme, mem=mem)
+        workload = self._cls.__new__(self._cls)
+        workload.__dict__.update(state)
+        workload.system = system
+        return system, workload
+
+
+def get(name: str, params: dict) -> Optional[WorkloadSnapshot]:
+    """The captured template for (name, params), or None."""
+    if not _enabled:
+        return None
+    return _TEMPLATES.get(_key(name, params))
+
+
+def capture(name: str, params: dict, system: System, workload: QueryWorkload) -> None:
+    """Record a just-built (system, workload) as the template for its key.
+
+    A workload whose object graph is too deep to deepcopy even at the
+    raised limit is remembered as uncopyable and simply never snapshotted —
+    later builds fall back to ordinary repopulation.
+    """
+    if not _enabled:
+        return
+    key = _key(name, params)
+    if key in _UNCOPYABLE:
+        return
+    try:
+        _TEMPLATES[key] = WorkloadSnapshot(system, workload)
+    except RecursionError:
+        _UNCOPYABLE.add(key)

@@ -11,11 +11,31 @@ Functional execution happens alongside timing: ``MemRead`` really reads the
 simulated address space into scratch, ``Compare`` really memcmps, and the
 final ``Done`` value is the architecturally correct query result — tests
 cross-check it against the pure software reference.
+
+**Macro-step fusion.**  Dispatching one engine event per CFA transition is
+the simulator's dominant cost at sweep scale, yet most of those events are
+provably unobservable: every substrate the CEE touches (integration timing
+paths, DPU pools, the NoC) takes an explicit ``now``, so a transition's
+effects depend only on the simulated time and the order it runs in — not on
+the engine clock.  :meth:`QeiAccelerator._step` therefore steps its entry in
+a tight inner loop, advancing a *virtual* ``now`` arithmetically, for as
+long as the next transition is provably the globally next thing to happen:
+its start cycle must precede every pending engine event
+(:meth:`~repro.sim.engine.Engine.peek_time`) and stay inside the active
+run's horizon.  The moment either condition fails, the loop falls back to
+the event-driven path, which is byte-for-byte the pre-fusion interpreter —
+and ``QEI_NO_FUSION=1`` forces that reference path for every transition.
+Completions and faults reached at a virtual time ahead of the engine clock
+are deferred to an event at that cycle, so the completion machinery (result
+writes, QST release, queue drain, quiesce callbacks) always observes the
+correct ``engine.now``.  ``tests/test_golden_stats.py`` pins that fusion
+changes no simulated number.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
@@ -149,6 +169,11 @@ class QeiAccelerator:
         # One CEE clock per accelerator instance: keyed by the home node, so
         # distributed (per-CHA / per-core) engines pipeline independently.
         self._cee_free_at: Dict[int, int] = {}
+        #: Macro-step fusion switch (see module docstring).  QEI_NO_FUSION=1
+        #: forces the unfused one-event-per-transition reference interpreter.
+        self._fuse = os.environ.get("QEI_NO_FUSION", "").lower() not in (
+            "1", "true", "yes",
+        )
         self._entry_handles: Dict[int, QueryHandle] = {}
         self._steps = self.stats.counter("cee.steps")
         self._completed = self.stats.counter("queries.completed")
@@ -311,7 +336,9 @@ class QeiAccelerator:
     # CEE: one state transition per cycle for one ready entry
     # ------------------------------------------------------------------ #
 
-    def _schedule_step(self, entry: QstEntry, earliest: int) -> None:
+    def _schedule_step(
+        self, entry: QstEntry, earliest: int, *, inline_ok: bool = False
+    ) -> None:
         handle = self._entry_handles.get(entry.index)
         if handle is None or not entry.busy:
             return  # released (fault/flush) before this wakeup landed
@@ -319,49 +346,166 @@ class QeiAccelerator:
         start = max(earliest, self._cee_free_at.get(home, 0), self.engine.now)
         self._cee_free_at[home] = start + 1
         generation = entry.generation
+        if inline_ok and self._fuse:
+            # Fuse across the wake boundary: the caller guarantees nothing
+            # runs after this call in its event, so when the step at
+            # ``start`` is provably the globally next thing to happen it can
+            # execute here instead of round-tripping through the heap.
+            peek = self.engine.peek_time()
+            horizon = self.engine.run_horizon
+            if (peek is None or peek > start) and (
+                horizon is None or start <= horizon
+            ):
+                self._step_at(entry, generation, start)
+                return
         self.engine.schedule_at(start, lambda: self._step(entry, generation))
 
     def _step(self, entry: QstEntry, generation: int) -> None:
-        if not entry.busy or entry.ctx is None or entry.generation != generation:
-            return  # flushed while waiting (slot possibly re-allocated)
-        ctx = entry.ctx
-        handle = self._entry_handles[entry.index]
-        self._steps.add()
-        entry.steps += 1
-        if entry.steps > self.watchdog_steps:
-            # Per-query watchdog (Sec. IV-D hardening): a corrupted pointer
-            # chain can cycle forever; the budget bounds every walk.
-            self._fault(
-                entry,
-                handle,
-                f"watchdog: exceeded {self.watchdog_steps} CEE steps",
-                code=AbortCode.WATCHDOG,
-            )
+        self._step_at(entry, generation, self.engine.now)
+
+    def _step_at(self, entry: QstEntry, generation: int, now: int) -> None:
+        """Step the entry's CFA, fusing transitions while provably safe.
+
+        ``now`` is the cycle this step executes at — the engine clock when
+        entered from a step event, possibly ahead of it when fused across a
+        wake boundary — and advances virtually as transitions fuse.  A
+        transition at ``start`` may fuse only when ``start`` strictly
+        precedes every pending engine event and lies inside the active run's
+        horizon — under that guard no event can interleave, so the operation
+        sequence (and every stat) is identical to the event-driven path.
+        """
+        engine = self.engine
+        while True:
+            if not entry.busy or entry.ctx is None or entry.generation != generation:
+                return  # flushed while waiting (slot possibly re-allocated)
+            ctx = entry.ctx
+            handle = self._entry_handles[entry.index]
+            self._steps.add()
+            entry.steps += 1
+            if entry.steps > self.watchdog_steps:
+                # Per-query watchdog (Sec. IV-D hardening): a corrupted
+                # pointer chain can cycle forever; the budget bounds every
+                # walk.
+                detail = f"watchdog: exceeded {self.watchdog_steps} CEE steps"
+                self._run_terminal(
+                    now,
+                    lambda: self._fault(
+                        entry, handle, detail, code=AbortCode.WATCHDOG
+                    ),
+                )
+                return
+            try:
+                # The header's type selects the CFA program; before the
+                # header is parsed we must peek at the request (START state)
+                # generically.
+                type_code = (
+                    ctx.header.type_code if ctx.header else self._peek_type(ctx)
+                )
+                program = self.firmware.program_for(type_code)
+                outcome = program.step(ctx)
+            except MemoryError_ as fault:
+                detail, code = str(fault), self._memory_code(fault)
+                self._run_terminal(
+                    now, lambda: self._fault(entry, handle, detail, code=code)
+                )
+                return
+            except FirmwareError as exc:
+                detail = str(exc)
+                self._run_terminal(
+                    now,
+                    lambda: self._fault(
+                        entry, handle, detail, code=AbortCode.BAD_TYPE
+                    ),
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - firmware bugs become faults
+                detail = f"firmware error: {exc}"
+                self._run_terminal(
+                    now,
+                    lambda: self._fault(
+                        entry, handle, detail, code=AbortCode.FIRMWARE
+                    ),
+                )
+                return
+            ctx.state = outcome.next_state
+            action = outcome.action
+            if action is None:
+                ready_at = now + 1
+            elif isinstance(action, Done):
+                value = action.value
+                self._run_terminal(
+                    now, lambda: self._finish_complete(entry, handle, value)
+                )
+                return
+            elif isinstance(action, Fault):
+                detail = action.detail or "CFA fault"
+                code = AbortCode.of(action.code)
+                self._run_terminal(
+                    now,
+                    lambda: self._finish_fault(entry, handle, detail, code=code),
+                )
+                return
+            else:
+                try:
+                    ready_at = self._issue_timed(entry, handle, action, now)
+                except MemoryError_ as fault:
+                    detail, code = str(fault), self._memory_code(fault)
+                    self._run_terminal(
+                        now,
+                        lambda: self._fault(entry, handle, detail, code=code),
+                    )
+                    return
+            home = handle._home  # type: ignore[attr-defined]
+            start = max(ready_at, self._cee_free_at.get(home, 0))
+            if self._fuse:
+                peek = engine.peek_time()
+                horizon = engine.run_horizon
+                if (peek is None or peek > start) and (
+                    horizon is None or start <= horizon
+                ):
+                    # Provably the next thing to happen: take the CEE slot
+                    # arithmetically and keep stepping, no event round-trip.
+                    self._cee_free_at[home] = start + 1
+                    now = start
+                    continue
+            # Fall back to the event-driven path — byte-for-byte the
+            # unfused reference interpreter's scheduling.
+            if action is None:
+                self._schedule_step(entry, now + 1)
+            else:
+                self._resume_after(entry, ready_at)
             return
-        program = None
+
+    def _run_terminal(self, now: int, action: Callable[[], None]) -> None:
+        """Run a completion/fault at (virtual) time ``now``.
+
+        During a fused run ``now`` can be ahead of the engine clock; the
+        completion machinery reads ``engine.now``, so the terminal is
+        deferred to an event at ``now`` — which the fusion guard has proven
+        is the next thing to happen.  At the head of a run
+        (``now == engine.now``) it executes inline, preserving the unfused
+        interpreter's same-cycle ordering.
+        """
+        if now == self.engine.now:
+            action()
+        else:
+            self.engine.schedule_at(now, action)
+
+    def _finish_complete(
+        self, entry: QstEntry, handle: QueryHandle, value: Optional[int]
+    ) -> None:
+        """Complete, demoting result-record write faults to query faults."""
         try:
-            # The header's type selects the CFA program; before the header is
-            # parsed we must peek at the request (START state) generically.
-            type_code = ctx.header.type_code if ctx.header else self._peek_type(ctx)
-            program = self.firmware.program_for(type_code)
-            outcome = program.step(ctx)
+            self._complete(entry, handle, value)
         except MemoryError_ as fault:
             self._fault(entry, handle, str(fault), code=self._memory_code(fault))
-            return
-        except FirmwareError as exc:
-            self._fault(entry, handle, str(exc), code=AbortCode.BAD_TYPE)
-            return
-        except Exception as exc:  # noqa: BLE001 - firmware bugs become faults
-            self._fault(
-                entry, handle, f"firmware error: {exc}", code=AbortCode.FIRMWARE
-            )
-            return
-        ctx.state = outcome.next_state
-        if outcome.action is None:
-            self._schedule_step(entry, self.engine.now + 1)
-            return
+
+    def _finish_fault(
+        self, entry: QstEntry, handle: QueryHandle, detail: str, *, code: AbortCode
+    ) -> None:
+        """Fault, retrying once when the abort record itself is unwritable."""
         try:
-            self._issue(entry, handle, outcome.action)
+            self._fault(entry, handle, detail, code=code)
         except MemoryError_ as fault:
             self._fault(entry, handle, str(fault), code=self._memory_code(fault))
 
@@ -386,23 +530,19 @@ class QeiAccelerator:
     # Micro-operation issue
     # ------------------------------------------------------------------ #
 
-    def _issue(self, entry: QstEntry, handle: QueryHandle, action: MicroAction) -> None:
-        now = self.engine.now
+    def _issue_timed(
+        self, entry: QstEntry, handle: QueryHandle, action: MicroAction, now: int
+    ) -> int:
+        """Execute one timed micro-op at (virtual) cycle ``now``.
+
+        Returns the cycle the entry becomes ready again.  Purely arithmetic
+        in simulated time: every substrate call takes an explicit ``now``,
+        so during a fused run the CEE can execute micro-ops ahead of the
+        engine clock without scheduling anything.
+        """
         home = handle._home  # type: ignore[attr-defined]
         core_id = handle.request.core_id
         integ = self.integration
-
-        if isinstance(action, Done):
-            self._complete(entry, handle, action.value)
-            return
-        if isinstance(action, Fault):
-            self._fault(
-                entry,
-                handle,
-                action.detail or "CFA fault",
-                code=AbortCode.of(action.code),
-            )
-            return
 
         if isinstance(action, MemRead):
             self._uop_counts["mem"].add()
@@ -412,8 +552,7 @@ class QeiAccelerator:
                 seg_latency = integ.mem_read(vaddr, length, now, home, core_id)
                 entry.ctx.scratch[tag] = self.space.read(vaddr, length)
                 latency = max(latency, seg_latency)
-            self._resume_after(entry, now + max(1, latency))
-            return
+            return now + max(1, latency)
 
         if isinstance(action, Compare):
             self._uop_counts["compare"].add()
@@ -424,22 +563,18 @@ class QeiAccelerator:
             key = self.space.read(action.key_vaddr, action.length)
             result = (stored > key) - (stored < key)
             entry.ctx.results[action.tag] = result
-            self._resume_after(entry, now + max(1, latency))
-            return
+            return now + max(1, latency)
 
         if isinstance(action, HashOp):
             self._uop_counts["hash"].add()
             data = entry.ctx.scratch[action.key_tag]
             done = integ.hash_unit.hash(now, len(data))
             entry.ctx.results[action.tag] = fnv1a64(data)
-            self._resume_after(entry, done)
-            return
+            return done
 
         if isinstance(action, AluOp):
             self._uop_counts["alu"].add()
-            done = integ.alus.alu(now, action.cycles)
-            self._resume_after(entry, done)
-            return
+            return integ.alus.alu(now, action.cycles)
 
         raise AcceleratorError(f"unknown micro-action {action!r}")
 
@@ -468,7 +603,9 @@ class QeiAccelerator:
 
         def wake() -> None:
             if entry.generation == generation:
-                self._schedule_step(entry, self.engine.now)
+                # Nothing runs after this in the wake event, so the step may
+                # fuse inline when the guard proves no event can interleave.
+                self._schedule_step(entry, self.engine.now, inline_ok=True)
 
         self.engine.schedule_at(max(ready_at, self.engine.now), wake)
 

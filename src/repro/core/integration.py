@@ -23,7 +23,6 @@ submit/return latency, translation, cacheline reads/writes, and compares.
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from ..config import (
@@ -105,8 +104,10 @@ class Integration:
         # Per-accelerator micro-TLB: the address-generation stage keeps the
         # last few page translations in registers, so a query touching the
         # same pages repeatedly (trie root, hot buckets, the query key) does
-        # not re-pay the TLB pipeline on every micro-op.
-        self._micro_tlbs: Dict[int, "OrderedDict[int, int]"] = {}
+        # not re-pay the TLB pipeline on every micro-op.  Each home's TLB is
+        # a plain insertion-ordered dict (the cache.py/tlb.py LRU idiom):
+        # a hit is pop-and-reinsert, an eviction is ``next(iter(...))``.
+        self._micro_tlbs: Dict[int, Dict[int, int]] = {}
         self._micro_hits = self.stats.counter("micro_tlb.hits")
         self._mem_uops = self.stats.counter("uops.mem")
         self._cmp_uops = self.stats.counter("uops.compare")
@@ -263,14 +264,17 @@ class Integration:
         """Translate through the per-home micro-TLB, then the scheme path."""
         key, base_paddr, span = self.space.translation_entry(vaddr, access)
         offset = vaddr % span
-        micro = self._micro_tlbs.setdefault(home, OrderedDict())
-        if key in micro:
-            micro.move_to_end(key)
+        micro = self._micro_tlbs.get(home)
+        if micro is None:
+            micro = self._micro_tlbs[home] = {}
+        cached_base = micro.pop(key, None)
+        if cached_base is not None:
+            micro[key] = cached_base  # reinsert = LRU refresh
             self._micro_hits.add()
-            return micro[key] + offset, self.MICRO_TLB_HIT_CYCLES
+            return cached_base + offset, self.MICRO_TLB_HIT_CYCLES
         paddr, cycles = self.translate(vaddr, access, now, home, core_id)
         if len(micro) >= self.MICRO_TLB_ENTRIES:
-            micro.popitem(last=False)
+            del micro[next(iter(micro))]
         micro[key] = base_paddr
         return paddr, cycles
 

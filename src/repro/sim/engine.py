@@ -70,6 +70,7 @@ class Engine:
         "_running",
         "events_processed",
         "_cancelled",
+        "_horizon",
     )
 
     def __init__(self) -> None:
@@ -79,6 +80,7 @@ class Engine:
         self._running = False
         self.events_processed = 0
         self._cancelled = 0  # cancelled entries still sitting in the heap
+        self._horizon: Optional[int] = None  # active run()'s `until` bound
 
     @property
     def now(self) -> int:
@@ -106,6 +108,29 @@ class Engine:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return len(self._queue) - self._cancelled
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None when the queue is empty.
+
+        Cancelled entries at the head are discarded as a side effect (the
+        same lazy cleanup :meth:`step` performs), so repeated peeks stay
+        O(log n) amortized.  Used by the CEE's macro-step fusion to prove no
+        event can interleave before a fused transition.
+        """
+        queue = self._queue
+        while queue:
+            time, _seq, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return time
+        return None
+
+    @property
+    def run_horizon(self) -> Optional[int]:
+        """The active :meth:`run`'s ``until`` bound (None outside a run)."""
+        return self._horizon
 
     def _note_cancel(self) -> None:
         """Account one cancellation; compact once the dead weight dominates."""
@@ -148,6 +173,7 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run is not reentrant")
         self._running = True
+        self._horizon = until
         processed = 0
         queue = self._queue
         pop = heapq.heappop
@@ -175,6 +201,7 @@ class Engine:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+            self._horizon = None
         return self._now
 
     def run_until(self, time: int, max_events: Optional[int] = None) -> int:

@@ -179,6 +179,7 @@ class System:
         scheme: "IntegrationScheme | str" = IntegrationScheme.CORE_INTEGRATED,
         *,
         stats: Optional[StatsRegistry] = None,
+        mem: Optional[ProcessMemory] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = IntegrationScheme.parse(scheme)
@@ -192,7 +193,13 @@ class System:
             hop_latency=self.noc.latency,
             noc_charge=lambda s, d, n, now: self.noc.send(s, d, n, now),
         )
-        self.mem = ProcessMemory(physical_bytes=self.config.memory_bytes)
+        # ``mem=`` adopts an already-populated process memory (frames, page
+        # tables, allocator state) — the warm-system snapshot restore path
+        # (analysis/snapshot.py).  Caches, TLBs and stats always start cold,
+        # exactly as they would after a fresh build.
+        self.mem = mem if mem is not None else ProcessMemory(
+            physical_bytes=self.config.memory_bytes
+        )
         self.space = self.mem.space
         self.core_mmus = [
             Mmu(

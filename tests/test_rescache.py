@@ -1,0 +1,113 @@
+"""Result-cache invalidation: source edits must change the fingerprint.
+
+``docs/performance.md`` promises that editing any Python source under
+``src/repro`` on a dirty tree (or without git at all) changes the
+``rescache`` code fingerprint, so stale simulation results can never be
+served after a code change.  These tests pin that promise by pointing the
+module's root constants at a scratch tree.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import rescache
+from repro.analysis.report import ExperimentResult
+
+
+def _scratch_tree(root: Path) -> Path:
+    """A minimal src/repro package tree under ``root``."""
+    package = root / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("VALUE = 1\n")
+    (package / "engine.py").write_text("def step():\n    return 1\n")
+    sub = package / "analysis"
+    sub.mkdir()
+    (sub / "__init__.py").write_text("")
+    return package
+
+
+def _point_at(monkeypatch, root: Path) -> None:
+    monkeypatch.setattr(rescache, "_SRC_ROOT", root / "src")
+    monkeypatch.setattr(rescache, "_REPO_ROOT", root)
+    monkeypatch.setattr(rescache, "_FINGERPRINT", None)
+
+
+def test_no_git_fingerprint_tracks_source_edits(tmp_path, monkeypatch):
+    package = _scratch_tree(tmp_path)
+    _point_at(monkeypatch, tmp_path)
+
+    first = rescache.code_fingerprint()
+    assert first.startswith("no-git+")
+
+    # Memoized within a process: same value without recompute.
+    assert rescache.code_fingerprint() == first
+
+    (package / "engine.py").write_text("def step():\n    return 2\n")
+    rescache._FINGERPRINT = None
+    assert rescache.code_fingerprint() != first
+
+    # Reverting the edit restores the original fingerprint (content hash,
+    # not mtime).
+    (package / "engine.py").write_text("def step():\n    return 1\n")
+    rescache._FINGERPRINT = None
+    assert rescache.code_fingerprint() == first
+
+
+def test_new_source_file_changes_fingerprint(tmp_path, monkeypatch):
+    package = _scratch_tree(tmp_path)
+    _point_at(monkeypatch, tmp_path)
+    first = rescache.code_fingerprint()
+
+    (package / "analysis" / "snapshot.py").write_text("TEMPLATES = {}\n")
+    rescache._FINGERPRINT = None
+    assert rescache.code_fingerprint() != first
+
+
+def test_cache_misses_after_source_edit(tmp_path, monkeypatch):
+    package = _scratch_tree(tmp_path)
+    _point_at(monkeypatch, tmp_path)
+
+    cache = rescache.ResultCache(tmp_path / "cache")
+    result = ExperimentResult("fig7", "t", ["col"], rows=[{"col": 1}], notes=[])
+    cache.put("fig7", {"quick": True}, result)
+    hit = cache.get("fig7", {"quick": True})
+    assert hit is not None and hit.rows == [{"col": 1}]
+
+    (package / "engine.py").write_text("def step():\n    return 3\n")
+    rescache._FINGERPRINT = None
+    assert cache.get("fig7", {"quick": True}) is None
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+def test_dirty_git_tree_fingerprint_tracks_source_edits(tmp_path, monkeypatch):
+    package = _scratch_tree(tmp_path)
+
+    def git(*args: str) -> None:
+        subprocess.run(
+            ["git", "-C", str(tmp_path), "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+
+    _point_at(monkeypatch, tmp_path)
+    clean = rescache.code_fingerprint()
+    assert "-dirty" not in clean
+
+    # A clean tree fingerprints by commit only: same before/after no-op.
+    (package / "engine.py").write_text("def step():\n    return 9\n")
+    rescache._FINGERPRINT = None
+    dirty = rescache.code_fingerprint()
+    assert "-dirty" in dirty and dirty != clean
+
+    (package / "engine.py").write_text("def step():\n    return 10\n")
+    rescache._FINGERPRINT = None
+    assert rescache.code_fingerprint() != dirty
