@@ -29,6 +29,7 @@ from .analysis.parallel import plan_tasks, run_tasks
 from .analysis.registry import (
     EXPERIMENTS,
     TAKES_CHAOS,
+    TAKES_CLUSTER,
     TAKES_QUICK,
     TAKES_SEEDED,
     TAKES_SERVE,
@@ -154,6 +155,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_sim.json",
         help="perfbench: where to write the benchmark JSON (default BENCH_sim.json)",
     )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=10,
+        help="cluster-chaos: simulated serving nodes in the fleet (default 10)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="cluster-chaos: replicas per key on the hash ring (default 2)",
+    )
     return parser
 
 
@@ -180,6 +193,15 @@ def experiment_kwargs(name: str, args: argparse.Namespace) -> Dict:
         kwargs["requests"] = args.requests
         kwargs["seed"] = args.seed
         kwargs["repeats"] = args.repeats
+        if args.scheme:
+            kwargs["schemes"] = [args.scheme]
+    if name in TAKES_CLUSTER:
+        kwargs["tenants"] = args.tenants
+        kwargs["requests"] = args.requests
+        kwargs["seed"] = args.seed
+        kwargs["repeats"] = args.repeats
+        kwargs["nodes"] = args.nodes
+        kwargs["replication"] = args.replication
         if args.scheme:
             kwargs["schemes"] = [args.scheme]
     return kwargs

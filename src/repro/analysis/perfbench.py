@@ -10,7 +10,9 @@ Times the three layers the hot-path work targets and writes the numbers to
   time reported separately as ``setup_seconds`` (schema 2; schema 1
   conflated the two into one number);
 * **serve** — simulated requests/sec through the multi-tenant serving
-  tier on the cha-tlb scheme.
+  tier on the cha-tlb scheme;
+* **cluster** — simulated requests/sec through the replicated multi-node
+  tier (ring routing + membership probing + LB failover, schema 3).
 
 ``--baseline PATH`` compares each throughput metric against a previously
 committed ``BENCH_sim.json`` and exits non-zero when any drops by more than
@@ -30,7 +32,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Self-rescheduling event chains for the engine microbench.
 ENGINE_CHAINS = 8
@@ -115,6 +117,37 @@ def bench_serve(requests: int = 1200) -> float:
     return _best_of(ROUNDS, one_round)
 
 
+def bench_cluster(requests: int = 400, nodes: int = 8) -> float:
+    """Simulated requests/sec through the replicated cluster (cha-tlb).
+
+    Fault-free (the chaos contract is tested elsewhere): this measures the
+    fleet simulation hot path — ring lookups, link hops, membership
+    probing and per-node serving — so regressions in the cluster tier's
+    bookkeeping show up as a throughput drop.
+    """
+    from ..config import ClusterConfig
+    from ..serve.cluster import SimulatedCluster
+
+    config = ClusterConfig(
+        nodes=nodes,
+        replication=2,
+        probe_interval_cycles=1_024,
+        probe_timeout_cycles=256,
+        request_timeout_cycles=8_192,
+        timeout_embargo_cycles=2_048,
+    )
+    def one_round() -> float:
+        cluster = SimulatedCluster(
+            "cha-tlb", cluster_config=config, seed=7, requests=requests
+        )
+        start = time.perf_counter()
+        cluster.run()
+        elapsed = time.perf_counter() - start
+        return requests / elapsed if elapsed > 0 else 0.0
+
+    return _best_of(ROUNDS, one_round)
+
+
 def bench_repro_all() -> float:
     """Wall-clock seconds of a serial, uncached ``python -m repro all``."""
     from . import snapshot
@@ -149,6 +182,7 @@ def run_bench(quick: bool = True) -> Dict:
         "queries_per_sec": rates,
         "setup_seconds": setups,
         "serve_requests_per_sec": bench_serve(),
+        "cluster_requests_per_sec": bench_cluster(),
         "repro_all_wall_seconds": None,
     }
     if not quick:
@@ -162,6 +196,7 @@ def _throughput_metrics(payload: Dict) -> Dict[str, float]:
     for scheme, rate in (payload.get("queries_per_sec") or {}).items():
         metrics[f"queries_per_sec/{scheme}"] = rate
     metrics["serve_requests_per_sec"] = payload.get("serve_requests_per_sec")
+    metrics["cluster_requests_per_sec"] = payload.get("cluster_requests_per_sec")
     return {k: v for k, v in metrics.items() if isinstance(v, (int, float)) and v > 0}
 
 
@@ -226,6 +261,7 @@ def perfbench_main(
             setup = payload["setup_seconds"][scheme]
             print(f"queries: {rate:>12,.1f} q/sec (ROI)  setup {setup:.3f}s  [{scheme}]")
         print(f"serve:   {payload['serve_requests_per_sec']:>12,.1f} req/sec")
+        print(f"cluster: {payload['cluster_requests_per_sec']:>12,.1f} req/sec")
         if payload["repro_all_wall_seconds"] is not None:
             print(f"repro all: {payload['repro_all_wall_seconds']:.1f} s wall")
 

@@ -326,6 +326,82 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """The replicated multi-node serving tier (docs/serving.md).
+
+    A :class:`~repro.serve.cluster.SimulatedCluster` runs ``nodes`` full
+    simulated machines behind a load-balancer tier that partitions the key
+    space over a consistent-hash ring with ``replication``-way replica
+    groups.  All latency knobs are simulated core cycles on the shared
+    cluster clock.
+    """
+
+    #: Simulated nodes (each a full :class:`~repro.system.System` plus a
+    #: multi-tenant frontend).
+    nodes: int = 10
+    #: Replica group size: each key-space shard is owned by this many nodes.
+    replication: int = 2
+    #: Virtual tokens per node on the hash ring (smooths shard sizes).
+    vnodes: int = 8
+    #: One-way LB <-> node message latency.
+    link_latency_cycles: int = 64
+    #: Health-prober heartbeat interval per node.
+    probe_interval_cycles: int = 4096
+    #: A probe without an ack after this long counts as missed.
+    probe_timeout_cycles: int = 512
+    #: Consecutive missed probes before a node is marked SUSPECT.
+    suspect_after: int = 2
+    #: Consecutive missed probes before a node is marked DOWN (routed
+    #: around and its shards remapped to ring successors).
+    down_after: int = 3
+    #: LB per-attempt response timeout before failing over to a replica.
+    request_timeout_cycles: int = 60_000
+    #: Total LB dispatch attempts per request across replicas.
+    max_attempts: int = 6
+    #: Base LB retry backoff between attempts (doubles per retry).
+    retry_backoff_cycles: int = 128
+    #: Embargo on a node after one of its requests times out at the LB.
+    timeout_embargo_cycles: int = 4096
+    #: Per-phase availability floor asserted by ``repro cluster-chaos``.
+    availability_floor: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError("cluster nodes must be positive")
+        if not 0 < self.replication <= self.nodes:
+            raise ConfigurationError(
+                "cluster replication must be in [1, nodes]; got "
+                f"{self.replication} for {self.nodes} nodes"
+            )
+        if self.vnodes <= 0:
+            raise ConfigurationError("cluster vnodes must be positive")
+        if self.link_latency_cycles <= 0:
+            raise ConfigurationError("cluster link latency must be positive")
+        if self.probe_interval_cycles <= 0:
+            raise ConfigurationError("cluster probe interval must be positive")
+        if self.probe_timeout_cycles <= 0:
+            raise ConfigurationError("cluster probe timeout must be positive")
+        if self.suspect_after <= 0 or self.down_after < self.suspect_after:
+            raise ConfigurationError(
+                "cluster needs 0 < suspect_after <= down_after"
+            )
+        if self.request_timeout_cycles <= 2 * self.link_latency_cycles:
+            raise ConfigurationError(
+                "cluster request timeout must exceed the link round trip"
+            )
+        if self.max_attempts <= 0:
+            raise ConfigurationError("cluster max_attempts must be positive")
+        if self.retry_backoff_cycles <= 0:
+            raise ConfigurationError("cluster retry backoff must be positive")
+        if self.timeout_embargo_cycles < 0:
+            raise ConfigurationError("cluster timeout embargo must be >= 0")
+        if not 0.0 <= self.availability_floor <= 1.0:
+            raise ConfigurationError(
+                "cluster availability_floor must be in [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
 class SchemeLatencyConfig:
     """Round-trip latencies from Table I, in core cycles."""
 

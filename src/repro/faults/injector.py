@@ -58,6 +58,9 @@ class FaultKind(str, enum.Enum):
     SLICE_FAIL = "slice-fail"
     SLICE_FLAP = "slice-flap"
     FIRMWARE_SWAP = "firmware-swap"
+    NODE_KILL = "node-kill"
+    NODE_FLAP = "node-flap"
+    NET_PARTITION = "net-partition"
 
 
 #: Infrastructure kinds are machine state, not memory state: the campaign
@@ -69,6 +72,18 @@ MACHINE_KINDS = frozenset(
         FaultKind.SLICE_FAIL,
         FaultKind.SLICE_FLAP,
         FaultKind.FIRMWARE_SWAP,
+    }
+)
+
+#: Cluster-scope kinds operate on whole serving nodes and LB<->node links,
+#: not on one machine; they are raised through the SimulatedCluster fault
+#: surface (``fail_node``/``recover_node``/``partition``/``heal``) by the
+#: cluster-chaos harness and never appear in single-machine campaigns.
+CLUSTER_KINDS = frozenset(
+    {
+        FaultKind.NODE_KILL,
+        FaultKind.NODE_FLAP,
+        FaultKind.NET_PARTITION,
     }
 )
 
@@ -99,6 +114,11 @@ EXPECTED_CODES: Dict[FaultKind, Tuple[AbortCode, ...]] = {
     # A hot-swap quiesces instead of aborting: queries drain, then the
     # table swaps; no abort code is ever legitimate.
     FaultKind.FIRMWARE_SWAP: (),
+    # Cluster-scope faults never surface accelerator abort codes: the LB
+    # masks them with replica failover (timeouts and retries, not aborts).
+    FaultKind.NODE_KILL: (),
+    FaultKind.NODE_FLAP: (),
+    FaultKind.NET_PARTITION: (),
 }
 
 #: Kinds whose damage can miss the queried path entirely (masked outcome).
@@ -115,6 +135,10 @@ MASKABLE_KINDS = frozenset(
         FaultKind.SLICE_FAIL,
         FaultKind.SLICE_FLAP,
         FaultKind.FIRMWARE_SWAP,
+        # Replicated serving masks whole-node loss the same way.
+        FaultKind.NODE_KILL,
+        FaultKind.NODE_FLAP,
+        FaultKind.NET_PARTITION,
     }
 )
 

@@ -9,9 +9,13 @@ Layered on the :class:`~repro.system.System` facade (docs/serving.md):
 * :mod:`slo` — per-tenant latency sketches, SLO budgets, serving reports.
 * :mod:`server` — the serving loop tying them together.
 * :mod:`driver` — the ``python -m repro serve`` experiment.
+* :mod:`cluster` — the replicated multi-node tier: consistent-hash ring,
+  membership prober, load-balancer failover (``python -m repro
+  cluster-chaos``).
 """
 
 from .batcher import Batcher
+from .cluster import ClusterReport, SimulatedCluster
 from .breaker import BreakerState, CircuitBreaker
 from .driver import (
     SERVE_WORKLOADS,
@@ -30,7 +34,9 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "ClosedLoopGenerator",
+    "ClusterReport",
     "Frontend",
+    "SimulatedCluster",
     "LoadGenerator",
     "MODE_BATCHED",
     "MODE_BLOCKING",

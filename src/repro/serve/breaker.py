@@ -7,8 +7,10 @@ trailing window of that tenant's outcomes; when the failure fraction
 crosses the threshold the circuit *opens* and the tenant's arrivals are
 answered with a retry-after immediately — no admission queue, no QST slot,
 no fallback burn.  After ``breaker_open_cycles`` the circuit goes
-*half-open*: a small probe budget is admitted, and only a full run of probe
-successes closes the circuit again (one probe failure re-opens it).
+*half-open*: probes are admitted strictly one at a time — the next only
+after the previous verdict lands — up to ``breaker_probes`` total, and only
+a full run of probe successes closes the circuit again (one probe failure
+re-opens it).
 
 All state is integer cycle arithmetic on the shared engine clock, so
 breaker decisions are as deterministic as the rest of the serving tier.
@@ -51,6 +53,10 @@ class CircuitBreaker:
         self._opened_at = [0] * tenants
         self._probes_issued = [0] * tenants
         self._probe_successes = [0] * tenants
+        #: The half-open probe slot: True while one probe's verdict is
+        #: outstanding.  Probes are strictly serial — concurrent arrivals
+        #: during HALF_OPEN must not widen the probe budget.
+        self._probe_inflight = [False] * tenants
         self._opens = self.stats.counter("opened")
         self._closes = self.stats.counter("closed")
         self._rejections = self.stats.counter("rejections")
@@ -66,6 +72,7 @@ class CircuitBreaker:
             self._states[tenant] = BreakerState.HALF_OPEN
             self._probes_issued[tenant] = 0
             self._probe_successes[tenant] = 0
+            self._probe_inflight[tenant] = False
         return self._states[tenant]
 
     def allow(self, tenant: int, now: int) -> Tuple[bool, int]:
@@ -74,10 +81,16 @@ class CircuitBreaker:
         if state is BreakerState.CLOSED:
             return True, 0
         if state is BreakerState.HALF_OPEN:
-            if self._probes_issued[tenant] < self.config.breaker_probes:
+            if (
+                not self._probe_inflight[tenant]
+                and self._probes_issued[tenant] < self.config.breaker_probes
+            ):
+                # Claim the single probe slot; it frees on the verdict.
+                self._probe_inflight[tenant] = True
                 self._probes_issued[tenant] += 1
                 return True, 0
-            # Probe budget outstanding: wait for their verdicts.
+            # A probe verdict is outstanding (or the budget is spent):
+            # concurrent arrivals must not widen the probe stream.
             self._rejections.add()
             return False, max(1, self.config.breaker_open_cycles // 4)
         self._rejections.add()
@@ -90,6 +103,7 @@ class CircuitBreaker:
         if state is BreakerState.OPEN:
             return  # stale outcome from before the trip
         if state is BreakerState.HALF_OPEN:
+            self._probe_inflight[tenant] = False
             if not ok:
                 self._trip(tenant, now)
                 return

@@ -1,0 +1,427 @@
+"""The simulated cluster: N full-machine nodes behind a load balancer.
+
+One shared event :class:`~repro.sim.engine.Engine` drives everything — every
+node's accelerator, caches and fallback executor, the LB<->node links, the
+heartbeat prober and the client load generators — so the whole fleet is a
+single deterministic discrete-event simulation: the same seed reproduces the
+identical interleaving of requests, probes, failovers and faults, and
+therefore a byte-identical :class:`ClusterReport`.
+
+Fault surface (driven by the cluster-chaos harness, usable directly):
+
+* :meth:`SimulatedCluster.fail_node` / :meth:`recover_node` — a node crash
+  generalising :meth:`System.fail_slice`: in-flight requests are lost, the
+  prober walks the node UP -> SUSPECT -> DOWN, the ring remaps its shards to
+  ring successors, and the LB's retries mask the gap.
+* :meth:`partition` / :meth:`heal` — LB<->node link cuts: the node stays
+  healthy but unreachable, which from the LB's side is indistinguishable
+  from a crash until the partition heals and its stale responses (dropped
+  by attempt-sequence checks) prove otherwise.
+
+Replica data is materialised identically on every node (same build seed =>
+same tables, same oracle), so any replica of a key can serve it; the ring
+only partitions *serving ownership*, which is what rebalancing remaps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ...config import ClusterConfig, IntegrationScheme, ServeConfig, small_config
+from ...errors import ReproError
+from ...sim.engine import Engine
+from ...sim.stats import PercentileSketch, StatsRegistry
+from ...system import System
+from ...workloads import make_workload
+from ..loadgen import ClosedLoopGenerator
+from .lb import FleetSlo, LoadBalancer
+from .membership import Membership, NodeState, Prober
+from .node import ClusterNode
+from .ring import HashRing, key_position
+
+#: Cores per cluster node — smaller than the single-machine serving tier so
+#: a 100-node fleet still builds in seconds.
+CLUSTER_CORES = 2
+
+#: Per-node workload sizes (same shape as serve.driver.SERVE_WORKLOADS,
+#: scaled down because every node materialises a full replica).
+CLUSTER_WORKLOADS: Dict[str, dict] = {
+    "dpdk": dict(num_flows=256, num_buckets=128, num_queries=48),
+    "jvm": dict(num_objects=192, num_queries=48),
+    "rocksdb": dict(num_items=128, num_queries=48),
+}
+
+_STALL_GUARD_STEPS = 50_000_000
+
+
+class ClusterError(ReproError):
+    """The cluster simulation violated its own invariants."""
+
+
+@dataclass
+class ClusterReport:
+    """One cluster run: routing/fault telemetry plus the fleet SLO view."""
+
+    scheme: str
+    seed: int
+    nodes: int
+    replication: int
+    requests: int
+    elapsed_cycles: int = 0
+    fleet: Dict[str, object] = field(default_factory=dict)
+    tenants: List[Dict[str, object]] = field(default_factory=list)
+    phases: List[Dict[str, object]] = field(default_factory=list)
+    node_rows: List[Dict[str, object]] = field(default_factory=list)
+    membership_log: List[Dict[str, object]] = field(default_factory=list)
+    rebalances: List[Dict[str, object]] = field(default_factory=list)
+
+    def dump(self) -> str:
+        """Canonical JSON (byte-identical across same-seed runs)."""
+        return json.dumps(
+            {
+                "scheme": self.scheme,
+                "seed": self.seed,
+                "nodes": self.nodes,
+                "replication": self.replication,
+                "requests": self.requests,
+                "elapsed_cycles": self.elapsed_cycles,
+                "fleet": self.fleet,
+                "tenants": self.tenants,
+                "phases": self.phases,
+                "node_rows": self.node_rows,
+                "membership_log": self.membership_log,
+                "rebalances": self.rebalances,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class SimulatedCluster:
+    """N replicated serving nodes, a prober, and the LB, on one engine."""
+
+    def __init__(
+        self,
+        scheme: str,
+        *,
+        cluster_config: Optional[ClusterConfig] = None,
+        serve_config: Optional[ServeConfig] = None,
+        seed: int = 7,
+        requests: int = 400,
+        workload: str = "dpdk",
+    ) -> None:
+        if workload not in CLUSTER_WORKLOADS:
+            names = ", ".join(sorted(CLUSTER_WORKLOADS))
+            raise ClusterError(
+                f"no cluster parameters for workload {workload!r}; "
+                f"expected one of {names}"
+            )
+        self.scheme = IntegrationScheme.parse(scheme).value
+        self.config = cluster_config or ClusterConfig()
+        self.serve_config = serve_config or ServeConfig()
+        self.seed = seed
+        self.workload_name = workload
+        self.engine = Engine()
+        self.stats = StatsRegistry().scoped("cluster")
+        self._link_drops = self.stats.counter("link.drops")
+        self._lost_inflight = self.stats.counter("killed.inflight")
+
+        # --- nodes: identical replicas (same build seed => same data) --- #
+        node_config = small_config(CLUSTER_CORES).replace(
+            serve=self.serve_config
+        )
+        self.nodes: List[ClusterNode] = []
+        built0 = None
+        for node_id in range(self.config.nodes):
+            system = System(node_config, self.scheme, engine=self.engine)
+            built = make_workload(
+                workload, system, seed=seed, **CLUSTER_WORKLOADS[workload]
+            )
+            system.warm_llc()
+            if built0 is None:
+                built0 = built
+            self.nodes.append(
+                ClusterNode(
+                    node_id,
+                    system,
+                    built,
+                    self.serve_config,
+                    seed=seed,
+                    respond=self._node_respond,
+                    owns_key=self._owns_key,
+                )
+            )
+        self.built = built0
+        #: Ring position of every query index (keys hashed by value, so the
+        #: same query always lands on the same shard on every run).
+        self._key_positions = [
+            key_position(repr(query).encode("ascii"))
+            for query in built0.queries
+        ]
+
+        # --- control plane ---------------------------------------------- #
+        self.ring = HashRing(self.config.nodes, self.config.vnodes)
+        self.rebalances: List[Dict[str, object]] = []
+        self.membership = Membership(
+            self.config, stats=self.stats, on_change=self._membership_changed
+        )
+        self.prober = Prober(
+            self.engine, self.config, self.membership, self._probe_send
+        )
+        #: LB<->node link health (False while partitioned away).
+        self._link_ok = [True] * self.config.nodes
+
+        # --- client tier ------------------------------------------------- #
+        self.slo = FleetSlo(self.serve_config.tenants, stats=self.stats)
+        self.lb = LoadBalancer(
+            self.engine,
+            self.config,
+            self.serve_config,
+            self.ring,
+            self.membership,
+            send=self._lb_send,
+            key_positions=self._key_positions,
+            expected=built0.expected,
+            slo=self.slo,
+        )
+        per_tenant = max(1, requests // self.serve_config.tenants)
+        self.requests = per_tenant * self.serve_config.tenants
+        self.generators = []
+        for tenant in range(self.serve_config.tenants):
+            generator = ClosedLoopGenerator(
+                tenant,
+                config=self.serve_config,
+                num_requests=per_tenant,
+                num_queries=len(built0.queries),
+                seed=seed,
+                stats=self.stats,
+            )
+            generator.bind(self.lb)
+            self.generators.append(generator)
+
+    # ------------------------------------------------------------------ #
+    # Fabric: everything crossing LB<->node goes through these.
+    # ------------------------------------------------------------------ #
+
+    def _deliver(self, node: int, action: Callable[[], None]) -> None:
+        """One one-way message over a link; dropped if the link is cut at
+        either endpoint's end of the flight (send or delivery time)."""
+        if not self._link_ok[node]:
+            self._link_drops.add()
+            return
+        def arrive() -> None:
+            if not self._link_ok[node]:
+                self._link_drops.add()
+                return
+            action()
+        self.engine.schedule(self.config.link_latency_cycles, arrive)
+
+    def _lb_send(
+        self, node: int, token, tenant: int, index: int, key_pos: int
+    ) -> None:
+        self._deliver(
+            node,
+            lambda: self.nodes[node].receive(token, tenant, index, key_pos),
+        )
+
+    def _node_respond(
+        self, node: int, token, kind: str, value, retry_after: int
+    ) -> None:
+        self._deliver(
+            node,
+            lambda: self.lb.on_response(node, token, kind, value, retry_after),
+        )
+
+    def _probe_send(self, node: int, ack: Callable[[], None]) -> None:
+        def reach_node() -> None:
+            if self.nodes[node].alive:
+                self._deliver(node, ack)
+        self._deliver(node, reach_node)
+
+    def _owns_key(self, node: int, key_pos: int) -> bool:
+        return node in self.ring.owners(
+            key_pos,
+            self.config.replication,
+            routable=self.membership.routable(),
+        )
+
+    def _membership_changed(
+        self, node: int, frm: NodeState, to: NodeState
+    ) -> None:
+        # Only UP/SUSPECT <-> DOWN edges change the routable set, i.e.
+        # actually remap shards; record how much of the ring moved.
+        if frm is not NodeState.DOWN and to is not NodeState.DOWN:
+            return
+        after = self.membership.routable()
+        if to is NodeState.DOWN:
+            before = after | {node}
+        else:
+            before = after - {node}
+        self.rebalances.append(
+            {
+                "cycle": self.engine.now,
+                "node": node,
+                "from": frm.value,
+                "to": to.value,
+                "remapped_share": round(
+                    self.ring.remapped_share(before, after), 6
+                ),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fault surface
+    # ------------------------------------------------------------------ #
+
+    def fail_node(self, node: int) -> int:
+        """Crash a node; returns the in-flight requests it takes with it."""
+        lost = self.nodes[node].fail()
+        self._lost_inflight.add(lost)
+        return lost
+
+    def recover_node(self, node: int) -> None:
+        self.nodes[node].recover()
+
+    def partition(self, nodes) -> None:
+        """Cut the LB<->node links for ``nodes`` (both directions)."""
+        for node in nodes:
+            self._link_ok[node] = False
+
+    def heal(self) -> None:
+        """Restore every partitioned link."""
+        self._link_ok = [True] * self.config.nodes
+
+    # ------------------------------------------------------------------ #
+    # The cluster loop
+    # ------------------------------------------------------------------ #
+
+    def _finished(self) -> bool:
+        return (
+            all(generator.finished for generator in self.generators)
+            and not self.lb.outstanding
+            and not any(node.busy for node in self.nodes)
+        )
+
+    def run(
+        self,
+        *,
+        on_tick: Optional[Callable[["SimulatedCluster"], None]] = None,
+    ) -> ClusterReport:
+        """Drive the whole fleet to completion and build the report.
+
+        Mirrors :meth:`QueryServer.run` one level up: step the shared
+        engine, then pump every node outside the step so software-fallback
+        detours (which advance engine time) never nest inside it.
+        """
+        start = self.engine.now
+        self.slo.begin_phase("baseline", start)
+        self.prober.start()
+        for generator in self.generators:
+            generator.start()
+        steps = 0
+        while not self._finished():
+            progressed = self.engine.step()
+            for node in self.nodes:
+                node.pump()
+            if on_tick is not None:
+                on_tick(self)
+            if not progressed:
+                if self._finished():
+                    break
+                if any([node.flush() for node in self.nodes]):
+                    continue
+                raise ClusterError(
+                    "cluster loop stalled: no events pending but "
+                    f"{self.lb.outstanding} requests outstanding at the LB"
+                )
+            steps += 1
+            if steps > _STALL_GUARD_STEPS:
+                raise ClusterError("cluster loop exceeded its step guard")
+        return self._report(self.engine.now - start)
+
+    def drain(self, cycles: int) -> None:
+        """Advance the simulation with no client load (chaos stragglers)."""
+        deadline = self.engine.now + cycles
+        while self.engine.peek_time() is not None and (
+            self.engine.peek_time() <= deadline
+        ):
+            self.engine.step()
+            for node in self.nodes:
+                node.pump()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def merged_service_sketch(self, tenant: int) -> PercentileSketch:
+        """Fleet-wide node-service sketch: merge of every node's sketch.
+
+        This is the acceptance-criterion artifact: the fleet SLO for a
+        tenant is *exactly* the mergeable-sketch union of the per-node
+        sketches, not a re-measurement.
+        """
+        merged = PercentileSketch(f"cluster.fleet.tenant{tenant}.service")
+        for node in self.nodes:
+            merged.merge(node.server.slo.sketch_of(tenant))
+        return merged
+
+    def _report(self, elapsed: int) -> ClusterReport:
+        counters = {
+            name: counter.value
+            for name, counter in self.slo.counters.items()
+        }
+        terminal = self.slo.terminal
+        completed = counters["completed"]
+        fleet = dict(counters)
+        fleet["availability"] = completed / terminal if terminal else 1.0
+        fleet["link_drops"] = self._link_drops.value
+        fleet["lost_inflight"] = self._lost_inflight.value
+        tenants = []
+        for tenant in range(self.serve_config.tenants):
+            e2e = self.slo.sketch_of(tenant)
+            service = self.merged_service_sketch(tenant)
+            tenants.append(
+                {
+                    "tenant": tenant,
+                    "completed": e2e.count,
+                    "p50": e2e.p50,
+                    "p95": e2e.p95,
+                    "p99": e2e.p99,
+                    "mean": e2e.mean,
+                    "service_p50": service.p50,
+                    "service_p99": service.p99,
+                    "service_count": service.count,
+                }
+            )
+        node_rows = []
+        for node in self.nodes:
+            slo = node.server.slo
+            node_rows.append(
+                {
+                    "node": node.node_id,
+                    "alive": node.alive,
+                    "state": self.membership.state_of(node.node_id).value,
+                    "received": node._received.value,
+                    "not_owner": node._not_owner.value,
+                    "dropped_dead": node._dropped_dead.value,
+                    "killed_inflight": node._killed_inflight.value,
+                    "admitted": sum(c.value for c in slo._admitted),
+                    "completed": sum(c.value for c in slo._completed),
+                }
+            )
+        return ClusterReport(
+            scheme=self.scheme,
+            seed=self.seed,
+            nodes=self.config.nodes,
+            replication=self.config.replication,
+            requests=self.requests,
+            elapsed_cycles=elapsed,
+            fleet=fleet,
+            tenants=tenants,
+            phases=self.slo.phase_rows(),
+            node_rows=node_rows,
+            membership_log=list(self.membership.log),
+            rebalances=list(self.rebalances),
+        )

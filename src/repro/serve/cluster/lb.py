@@ -1,0 +1,380 @@
+"""The load-balancer tier: ring routing, replica failover, bounded retry.
+
+The LB is the cluster's only client-facing surface.  Every request is
+routed to its key's replica group off the consistent-hash ring (filtered by
+the membership view, so DOWN nodes are routed around), dispatched to one
+replica with a per-attempt response timeout, and failed over — bounded
+attempts, exponential backoff — until it completes or the attempt budget is
+burnt.  A request therefore *always* reaches a terminal outcome: completed,
+or failed after ``max_attempts``; nothing can hang on a dead node or a
+dropped link message.
+
+Backpressure propagates end to end: a node-level admission rejection
+travels up with its retry-after hint, the LB embargoes that node for the
+hinted window, and when every replica of a key is embargoed the arrival is
+rejected *to the client* with the soonest-expiry hint — closed-loop clients
+back off against the cluster exactly as they back off against a single
+frontend.
+
+At-least-once semantics: a timed-out attempt may still execute on its node
+while the retry runs elsewhere.  The first ``ok`` response wins (late ones
+are counted ``stale``); every winning value is checked against the
+software oracle, so duplicated execution can never surface a wrong result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ...config import ClusterConfig, ServeConfig
+from ...sim.stats import PercentileSketch, StatsRegistry
+from ..frontend import ServeRequest
+from .membership import Membership, NodeState
+from .ring import HashRing
+from .node import (
+    RESP_FAILED,
+    RESP_NOT_OWNER,
+    RESP_OK,
+    RESP_REJECTED,
+    RESP_SHED,
+)
+
+
+@dataclass
+class _Pending:
+    """LB-side state of one in-flight cluster request."""
+
+    sreq: ServeRequest
+    generator: object
+    key_position: int
+    attempts: int = 0
+    #: Bumped per dispatch; responses carry it so late ones are detected.
+    attempt_seq: int = 0
+    target: Optional[int] = None
+    tried: Set[int] = field(default_factory=set)
+    timeout_event: Optional[object] = None
+    resolved: bool = False
+
+
+class FleetSlo:
+    """Cluster-level end-to-end accounting: sketches, counters, phases."""
+
+    def __init__(
+        self, tenants: int, *, stats: Optional[StatsRegistry] = None
+    ) -> None:
+        self.stats = (stats or StatsRegistry()).scoped("cluster.slo")
+        self.tenants = tenants
+        self._sketches = [
+            self.stats.sketch(f"tenant{t}.e2e") for t in range(tenants)
+        ]
+        names = (
+            "issued", "completed", "failed", "giveups", "rejected",
+            "retries", "timeouts", "not_owner", "node_rejections",
+            "stale", "result_errors",
+        )
+        self.counters = {name: self.stats.counter(name) for name in names}
+        self._phases: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def begin_phase(self, name: str, now: int) -> None:
+        self._phases.append(
+            {
+                "name": name,
+                "start_cycle": now,
+                "sketch": PercentileSketch(f"cluster.phase.{name}.e2e"),
+                "issued": 0,
+                "completed": 0,
+                "failed": 0,
+                "giveups": 0,
+            }
+        )
+
+    def _phase(self) -> Optional[Dict[str, object]]:
+        return self._phases[-1] if self._phases else None
+
+    def record_issue(self) -> None:
+        self.counters["issued"].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["issued"] += 1
+
+    def record_completion(self, tenant: int, latency: int) -> None:
+        self._sketches[tenant].record(latency)
+        self.counters["completed"].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["completed"] += 1
+            phase["sketch"].record(latency)
+
+    def record_failure(self) -> None:
+        self.counters["failed"].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["failed"] += 1
+
+    def record_giveup(self) -> None:
+        self.counters["giveups"].add()
+        phase = self._phase()
+        if phase is not None:
+            phase["giveups"] += 1
+
+    def sketch_of(self, tenant: int) -> PercentileSketch:
+        return self._sketches[tenant]
+
+    @property
+    def terminal(self) -> int:
+        """Requests with a terminal outcome (chaos schedules key off this)."""
+        return (
+            self.counters["completed"].value
+            + self.counters["failed"].value
+            + self.counters["giveups"].value
+        )
+
+    def phase_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for phase in self._phases:
+            terminal = phase["completed"] + phase["failed"] + phase["giveups"]
+            sketch = phase["sketch"]
+            rows.append(
+                {
+                    "name": phase["name"],
+                    "start_cycle": phase["start_cycle"],
+                    "issued": phase["issued"],
+                    "completed": phase["completed"],
+                    "failed": phase["failed"],
+                    "giveups": phase["giveups"],
+                    "availability": (
+                        phase["completed"] / terminal if terminal else 1.0
+                    ),
+                    "p50": sketch.p50,
+                    "p99": sketch.p99,
+                    "mean": sketch.mean,
+                }
+            )
+        return rows
+
+
+class LoadBalancer:
+    """Routes client requests over the node fleet; owns retry/failover."""
+
+    def __init__(
+        self,
+        engine,
+        config: ClusterConfig,
+        serve_config: ServeConfig,
+        ring: HashRing,
+        membership: Membership,
+        *,
+        send: Callable[[int, object, int, int, int], None],
+        key_positions: List[int],
+        expected: List[Optional[int]],
+        slo: FleetSlo,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.serve_config = serve_config
+        self.ring = ring
+        self.membership = membership
+        #: ``send(node, token, tenant, index, key_position)`` puts one
+        #: request on the LB -> node link (the fabric applies latency/drops).
+        self._send = send
+        self._key_positions = key_positions
+        self._expected = expected
+        self.slo = slo
+        #: Per-node admission embargo: absolute cycle before which the LB
+        #: avoids the node (fed by node retry-after hints and timeouts).
+        self._embargo = [0] * config.nodes
+        self.outstanding = 0
+
+    # ------------------------------------------------------------------ #
+    # Client-facing admission (LoadGenerator server protocol)
+    # ------------------------------------------------------------------ #
+
+    def accept(self, generator, sreq: ServeRequest) -> bool:
+        now = self.engine.now
+        key_position = self._key_positions[sreq.index]
+        owners = self.ring.owners(
+            key_position,
+            self.config.replication,
+            routable=self.membership.routable(),
+        )
+        if owners and all(self._embargo[node] > now for node in owners):
+            # Cluster-wide backpressure for this shard: every replica asked
+            # for breathing room.  Surface the soonest expiry to the client.
+            retry_after = max(
+                1, min(self._embargo[node] for node in owners) - now
+            )
+            self.slo.counters["rejected"].add()
+            if sreq.attempts >= self.serve_config.max_admission_attempts:
+                # This rejection exhausts the client's retry budget: the
+                # request is terminally lost and counts against availability.
+                self.slo.record_giveup()
+            generator.on_rejected(sreq, retry_after)
+            return False
+        pending = _Pending(
+            sreq=sreq, generator=generator, key_position=key_position
+        )
+        self.slo.record_issue()
+        self.outstanding += 1
+        self._attempt(pending)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Dispatch / failover
+    # ------------------------------------------------------------------ #
+
+    def _candidates(self, pending: _Pending, now: int) -> List[int]:
+        """Replica preference order: UP before SUSPECT, untried, no embargo."""
+        owners = self.ring.owners(
+            pending.key_position,
+            self.config.replication,
+            routable=self.membership.routable(),
+        )
+        if not owners:
+            return []
+        untried = [node for node in owners if node not in pending.tried]
+        if not untried:
+            pending.tried.clear()  # new failover round over the full group
+            untried = owners
+        unembargoed = [
+            node for node in untried if self._embargo[node] <= now
+        ]
+        pool = unembargoed or untried
+        up = [
+            node
+            for node in pool
+            if self.membership.state_of(node) is NodeState.UP
+        ]
+        return up or pool
+
+    def _backoff(self, attempts: int) -> int:
+        return self.config.retry_backoff_cycles * (
+            1 << min(attempts, 6)
+        )
+
+    def _attempt(self, pending: _Pending) -> None:
+        if pending.resolved:
+            return
+        if pending.attempts >= self.config.max_attempts:
+            self._fail(pending)
+            return
+        now = self.engine.now
+        pending.attempts += 1
+        candidates = self._candidates(pending, now)
+        if not candidates:
+            # Nothing routable right now (partition in progress); burn one
+            # attempt waiting for the prober to converge, then look again.
+            self.engine.schedule(
+                self._backoff(pending.attempts),
+                lambda p=pending: self._attempt(p),
+            )
+            return
+        target = candidates[0]
+        pending.target = target
+        pending.tried.add(target)
+        pending.attempt_seq += 1
+        seq = pending.attempt_seq
+        if pending.attempts > 1:
+            self.slo.counters["retries"].add()
+        pending.timeout_event = self.engine.schedule(
+            self.config.request_timeout_cycles,
+            lambda p=pending, s=seq: self._on_timeout(p, s),
+        )
+        self._send(
+            target,
+            (pending, seq),
+            pending.sreq.tenant,
+            pending.sreq.index,
+            pending.key_position,
+        )
+
+    def _on_timeout(self, pending: _Pending, seq: int) -> None:
+        if pending.resolved or seq != pending.attempt_seq:
+            return
+        self.slo.counters["timeouts"].add()
+        if pending.target is not None:
+            # A silent node is either dead or partitioned: step around it
+            # until the prober resolves which.
+            self._embargo[pending.target] = (
+                self.engine.now + self.config.timeout_embargo_cycles
+            )
+        self._attempt(pending)
+
+    # ------------------------------------------------------------------ #
+    # Responses (called by the cluster fabric at link-delivery time)
+    # ------------------------------------------------------------------ #
+
+    def on_response(
+        self,
+        node: int,
+        token: Tuple[_Pending, int],
+        kind: str,
+        value: Optional[int],
+        retry_after: int,
+    ) -> None:
+        pending, seq = token
+        if pending.resolved:
+            self.slo.counters["stale"].add()
+            return
+        if kind == RESP_OK:
+            # First successful execution wins, even one from a superseded
+            # attempt (at-least-once; the oracle check below keeps it honest).
+            if pending.timeout_event is not None:
+                pending.timeout_event.cancel()
+            if value != self._expected[pending.sreq.index]:
+                self.slo.counters["result_errors"].add()
+            self._complete(pending)
+            return
+        if seq != pending.attempt_seq:
+            self.slo.counters["stale"].add()
+            return
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        if kind == RESP_REJECTED:
+            # Node admission backpressure: honour the node's retry-after
+            # hint on this node, fail over after the standard backoff.
+            self.slo.counters["node_rejections"].add()
+            self._embargo[node] = max(
+                self._embargo[node], self.engine.now + max(1, retry_after)
+            )
+            self.engine.schedule(
+                self._backoff(pending.attempts),
+                lambda p=pending: self._attempt(p),
+            )
+            return
+        if kind == RESP_NOT_OWNER:
+            # Routed under a membership view a rebalance has since replaced;
+            # re-resolve owners and try again almost immediately.
+            self.slo.counters["not_owner"].add()
+            self.engine.schedule(
+                max(1, retry_after), lambda p=pending: self._attempt(p)
+            )
+            return
+        if kind in (RESP_FAILED, RESP_SHED):
+            # The node executed but could not produce a result (fallback
+            # exhausted / deadline shed); a replica may still succeed.
+            self.engine.schedule(
+                self._backoff(pending.attempts),
+                lambda p=pending: self._attempt(p),
+            )
+            return
+        raise ValueError(f"unknown node response kind {kind!r}")
+
+    # ------------------------------------------------------------------ #
+
+    def _complete(self, pending: _Pending) -> None:
+        pending.resolved = True
+        self.outstanding -= 1
+        sreq = pending.sreq
+        self.slo.record_completion(
+            sreq.tenant, self.engine.now - sreq.arrival_cycle
+        )
+        pending.generator.on_resolved(sreq)
+
+    def _fail(self, pending: _Pending) -> None:
+        pending.resolved = True
+        self.outstanding -= 1
+        self.slo.record_failure()
+        pending.generator.on_resolved(pending.sreq)

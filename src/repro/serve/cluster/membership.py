@@ -1,0 +1,157 @@
+"""Cluster membership: UP/SUSPECT/DOWN health states and the prober.
+
+The load balancer never trusts a node it cannot hear: a :class:`Prober`
+heartbeats every node over the same simulated links requests travel, so a
+killed node *and* a partitioned link look identical from the LB's side —
+missed acks.  Consecutive misses walk a node UP -> SUSPECT -> DOWN
+(``suspect_after`` / ``down_after``); one ack walks it straight back to UP.
+Every transition is appended to a deterministic membership log, and
+UP <-> DOWN transitions fire the rebalance hook so the ring remaps the
+node's shards (out on DOWN, back on recovery).
+
+SUSPECT is a routing hint, not a removal: suspect nodes keep their shards
+but the LB prefers UP replicas, so one slow probe round does not remap the
+key space.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Set
+
+from ...config import ClusterConfig
+from ...sim.stats import StatsRegistry
+
+
+class NodeState(str, enum.Enum):
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+class Membership:
+    """The LB's authoritative health table over the node fleet."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        stats: Optional[StatsRegistry] = None,
+        on_change: Optional[Callable[[int, NodeState, NodeState], None]] = None,
+    ) -> None:
+        self.config = config
+        self.stats = (stats or StatsRegistry()).scoped("cluster.membership")
+        self._states = [NodeState.UP] * config.nodes
+        self._missed = [0] * config.nodes
+        #: Deterministic transition log: one row per state change.
+        self.log: List[Dict[str, object]] = []
+        self._on_change = on_change
+        self._transitions = self.stats.counter("transitions")
+
+    # ------------------------------------------------------------------ #
+
+    def state_of(self, node: int) -> NodeState:
+        return self._states[node]
+
+    def routable(self) -> Set[int]:
+        """Nodes the ring may own shards on (everything not DOWN)."""
+        return {
+            node
+            for node, state in enumerate(self._states)
+            if state is not NodeState.DOWN
+        }
+
+    def up_nodes(self) -> Set[int]:
+        return {
+            node
+            for node, state in enumerate(self._states)
+            if state is NodeState.UP
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def note_ack(self, node: int, now: int) -> None:
+        """A heartbeat ack: reset suspicion, walk the node back to UP."""
+        self._missed[node] = 0
+        if self._states[node] is not NodeState.UP:
+            self._transition(node, NodeState.UP, now)
+
+    def note_miss(self, node: int, now: int) -> None:
+        """A probe went unanswered; escalate SUSPECT -> DOWN on repeats."""
+        self._missed[node] += 1
+        missed = self._missed[node]
+        state = self._states[node]
+        if state is NodeState.UP and missed >= self.config.suspect_after:
+            self._transition(node, NodeState.SUSPECT, now)
+        elif (
+            self._states[node] is NodeState.SUSPECT
+            and missed >= self.config.down_after
+        ):
+            self._transition(node, NodeState.DOWN, now)
+
+    def _transition(self, node: int, to: NodeState, now: int) -> None:
+        frm = self._states[node]
+        self._states[node] = to
+        self._transitions.add()
+        self.log.append(
+            {"cycle": now, "node": node, "from": frm.value, "to": to.value}
+        )
+        if self._on_change is not None:
+            self._on_change(node, frm, to)
+
+
+class Prober:
+    """Heartbeat loop: one staggered probe stream per node over the links.
+
+    ``send`` delivers a probe to a node and must eventually invoke the
+    given ack callback *iff* the node is alive and the link is healthy in
+    both directions; otherwise the probe-timeout fires and the miss is
+    charged.  Probes are identified by (node, seq) so a late ack from a
+    healed partition can never satisfy a newer probe.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: ClusterConfig,
+        membership: Membership,
+        send: Callable[[int, Callable[[], None]], None],
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.membership = membership
+        self._send = send
+        self._seq = [0] * config.nodes
+        self._acked = [True] * config.nodes
+
+    def start(self) -> None:
+        # Stagger the fleet one cycle apart so same-cycle probe order never
+        # depends on dict/iteration incidentals.
+        for node in range(self.config.nodes):
+            self.engine.schedule(node + 1, lambda n=node: self._probe(n))
+
+    # ------------------------------------------------------------------ #
+
+    def _probe(self, node: int) -> None:
+        self._seq[node] += 1
+        seq = self._seq[node]
+        self._acked[node] = False
+        self._send(node, lambda n=node, s=seq: self._ack(n, s))
+        self.engine.schedule(
+            self.config.probe_timeout_cycles,
+            lambda n=node, s=seq: self._timeout(n, s),
+        )
+        self.engine.schedule(
+            self.config.probe_interval_cycles, lambda n=node: self._probe(n)
+        )
+
+    def _ack(self, node: int, seq: int) -> None:
+        if seq != self._seq[node]:
+            return  # stale ack from an earlier probe round
+        self._acked[node] = True
+        self.membership.note_ack(node, self.engine.now)
+
+    def _timeout(self, node: int, seq: int) -> None:
+        if seq != self._seq[node] or self._acked[node]:
+            return
+        self.membership.note_miss(node, self.engine.now)

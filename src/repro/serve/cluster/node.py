@@ -1,0 +1,199 @@
+"""One cluster node: a full simulated machine behind its own frontend.
+
+A :class:`ClusterNode` is *not* a latency model — it wraps a complete
+:class:`~repro.system.System` (accelerator, caches, NoC, fallback executor)
+plus the single-node :class:`~repro.serve.QueryServer` (bounded admission
+queues, QUERY_NB batcher, per-tenant SLO sketches), all scheduling on the
+cluster's shared event engine.  Everything PRs 1-3 hardened — abort codes,
+watchdogs, software fallback, slice health — therefore holds per node,
+unchanged, under cluster load.
+
+The node's ingress enforces ring ownership: a request for a shard this node
+does not own under the current membership view is answered ``not-owner``
+and the LB re-routes it — the drain-and-remap race a rebalance creates is
+resolved by retry, never by serving a shard the ring moved away.  A node
+killed by :meth:`fail` keeps its simulation state (the engine events it
+already scheduled still fire) but drops every response at the egress, which
+is exactly what a crashed process looks like from the LB's side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...config import ServeConfig
+from ...sim.stats import StatsRegistry
+from ..frontend import ServeRequest
+from ..server import QueryServer
+
+#: Response kinds a node can send back to the LB.
+RESP_OK = "ok"
+RESP_FAILED = "failed"
+RESP_SHED = "shed"
+RESP_REJECTED = "rejected"
+RESP_NOT_OWNER = "not-owner"
+
+#: Retry-after hint attached to a ``not-owner`` response: the LB re-routes
+#: against its (already newer) membership view after this short pause.
+NOT_OWNER_RETRY_CYCLES = 32
+
+
+class _TenantPort:
+    """The per-tenant 'load generator' the node's QueryServer reports to.
+
+    The single-node server calls the same callbacks a tenant's load
+    generator would receive; here they terminate node-side service and hand
+    the disposition back to the node, which answers the LB over the link.
+    """
+
+    def __init__(self, node: "ClusterNode", tenant: int) -> None:
+        self.node = node
+        self.tenant = tenant
+        self.finished = False  # the cluster loop never calls server.run()
+
+    def bind(self, server) -> None:  # QueryServer.attach protocol
+        pass
+
+    def on_rejected(self, request: ServeRequest, retry_after: int) -> None:
+        self.node._admission_rejected(request, retry_after)
+
+    def on_resolved(self, request: ServeRequest) -> None:
+        self.node._resolved(request)
+
+
+class ClusterNode:
+    """One replica: full System + frontend, addressable over the LB link."""
+
+    def __init__(
+        self,
+        node_id: int,
+        system,
+        workload,
+        serve_config: ServeConfig,
+        *,
+        seed: int,
+        respond: Callable[[int, object, str, Optional[int], int], None],
+        owns_key: Callable[[int, int], bool],
+    ) -> None:
+        self.node_id = node_id
+        self.system = system
+        self.workload = workload
+        self.server = QueryServer(
+            system, workload, serve_config, mode="batched", seed=seed
+        )
+        #: ``respond(node_id, token, kind, value, retry_after)`` hands a
+        #: response to the cluster fabric (which applies link state/latency).
+        self._respond = respond
+        #: ``owns_key(node_id, key_position)`` consults the ring + the
+        #: LB-authoritative membership view (docs/serving.md).
+        self._owns_key = owns_key
+        self.alive = True
+        self._next_id = 0
+        #: node request key -> the LB's opaque request token.
+        self._tokens: Dict[int, object] = {}
+        stats = system.stats.scoped(f"cluster.node{node_id}")
+        self._received = stats.counter("received")
+        self._dropped_dead = stats.counter("dropped.dead")
+        self._not_owner = stats.counter("not_owner")
+        self._killed_inflight = stats.counter("killed.inflight")
+        for tenant in range(serve_config.tenants):
+            self.server.attach(_TenantPort(self, tenant))
+
+    # ------------------------------------------------------------------ #
+    # Ingress (called by the cluster fabric at link-delivery time)
+    # ------------------------------------------------------------------ #
+
+    def receive(
+        self, token: object, tenant: int, index: int, key_position: int
+    ) -> None:
+        """One request arriving off the LB link."""
+        if not self.alive:
+            self._dropped_dead.add()
+            return  # a dead node answers nothing; the LB times out
+        self._received.add()
+        if not self._owns_key(self.node_id, key_position):
+            self._not_owner.add()
+            self._respond(
+                self.node_id, token, RESP_NOT_OWNER, None,
+                NOT_OWNER_RETRY_CYCLES,
+            )
+            return
+        self._next_id += 1
+        request = ServeRequest(
+            tenant=tenant,
+            index=index,
+            request_id=self._next_id,
+            arrival_cycle=self.system.engine.now,
+        )
+        self._tokens[self._key(request)] = token
+        self.server.accept(self.server._generators_by_tenant[tenant], request)
+
+    def _key(self, request: ServeRequest) -> int:
+        return request.request_id * self.server.config.tenants + request.tenant
+
+    # ------------------------------------------------------------------ #
+    # Egress (QueryServer callbacks via _TenantPort)
+    # ------------------------------------------------------------------ #
+
+    def _admission_rejected(
+        self, request: ServeRequest, retry_after: int
+    ) -> None:
+        token = self._tokens.pop(self._key(request), None)
+        if token is None or not self.alive:
+            return
+        # The node-level Admission verdict travels up with its retry-after
+        # hint so the LB (and through it the client) backs off against this
+        # node instead of hammering it.
+        self._respond(
+            self.node_id, token, RESP_REJECTED, None, retry_after
+        )
+
+    def _resolved(self, request: ServeRequest) -> None:
+        token = self._tokens.pop(self._key(request), None)
+        if token is None or not self.alive:
+            return
+        kind = {
+            "ok": RESP_OK,
+            "failed": RESP_FAILED,
+            "shed": RESP_SHED,
+        }[request.outcome or "failed"]
+        self._respond(self.node_id, token, kind, request.result_value, 0)
+
+    # ------------------------------------------------------------------ #
+    # The cluster loop's drive hooks + fault surface
+    # ------------------------------------------------------------------ #
+
+    def pump(self) -> None:
+        """Retire completions and refill the dispatch window (one tick)."""
+        server = self.server
+        if server._completions:
+            server._drain_completions()
+        if server.frontend.pending and server._outstanding < server.limit:
+            server._dispatch()
+
+    def flush(self) -> bool:
+        """Force open batches out (stall recovery); True when any flushed."""
+        return self.server.batcher.flush_all()
+
+    @property
+    def busy(self) -> bool:
+        return bool(
+            self.server._outstanding
+            or self.server.frontend.pending
+            or self.server._completions
+        )
+
+    def fail(self) -> int:
+        """Kill the node; returns the requests it will never answer."""
+        lost = len(self._tokens)
+        self._killed_inflight.add(lost)
+        self.alive = False
+        # A crashed process loses its socket state: forget the in-flight
+        # tokens so a response computed later (the simulation keeps running
+        # the already-scheduled events) can never reach the LB.
+        self._tokens.clear()
+        return lost
+
+    def recover(self) -> None:
+        """Restart the node (empty queues; the prober re-admits it)."""
+        self.alive = True

@@ -45,6 +45,11 @@ class ServeRequest:
     resolved: bool = False
     #: Whether a hedged duplicate was submitted for this request.
     hedged: bool = False
+    #: Terminal disposition ("ok", "failed", or "shed"), set at resolution.
+    #: The cluster tier reads it to build the node's response to the LB.
+    outcome: Optional[str] = None
+    #: The query's result value when ``outcome`` is "ok".
+    result_value: Optional[int] = None
 
 
 @dataclass(frozen=True)

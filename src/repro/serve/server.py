@@ -319,6 +319,7 @@ class QueryServer:
     def _shed(self, request: ServeRequest, *, dispatched: bool) -> None:
         """Deadline-expired request: distinct SLO outcome, never executed."""
         request.resolved = True
+        request.outcome = "shed"
         self.slo.record_shed(request.tenant)
         if self.breaker is not None:
             self.breaker.record(request.tenant, False, self.engine.now)
@@ -355,6 +356,8 @@ class QueryServer:
             self.slo.record_completion(
                 tenant, completion - request.arrival_cycle, accelerated=True
             )
+            request.outcome = "ok"
+            request.result_value = handle.value
             if handle.value != self.workload.expected[request.index]:
                 self.slo.record_error()
         else:
@@ -370,9 +373,13 @@ class QueryServer:
                 accelerated=False,
             )
             if not outcome.resolved:
+                request.outcome = "failed"
                 self.slo.record_failure(tenant)
-            elif outcome.value != self.workload.expected[request.index]:
-                self.slo.record_error()
+            else:
+                request.outcome = "ok"
+                request.result_value = outcome.value
+                if outcome.value != self.workload.expected[request.index]:
+                    self.slo.record_error()
         if self.breaker is not None:
             # Aborts count as failures even when the fallback resolved them:
             # the breaker tracks the *accelerated* path's health.

@@ -180,11 +180,15 @@ class System:
         *,
         stats: Optional[StatsRegistry] = None,
         mem: Optional[ProcessMemory] = None,
+        engine: Optional[Engine] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = IntegrationScheme.parse(scheme)
         self.stats = stats or StatsRegistry()
-        self.engine = Engine()
+        # ``engine=`` adopts a shared event clock: the cluster tier
+        # (serve/cluster/) runs every node's System on one engine so the
+        # whole fleet is a single deterministic discrete-event simulation.
+        self.engine = engine if engine is not None else Engine()
 
         self.noc = MeshNoc(self.config.noc, stats=self.stats)
         self.hierarchy = MemoryHierarchy(

@@ -275,15 +275,33 @@ def test_breaker_half_open_probes_then_closes():
     for _ in range(4):
         breaker.record(0, False, now=0)
     assert breaker.state_of(0, now=100) is BreakerState.HALF_OPEN
+    # Probes are strictly serial: one slot, freed only by its verdict.
     assert breaker.allow(0, now=100) == (True, 0)
-    assert breaker.allow(0, now=101) == (True, 0)
-    # Probe budget exhausted until verdicts land.
-    allowed, _ = breaker.allow(0, now=102)
+    allowed, _ = breaker.allow(0, now=101)
     assert not allowed
     breaker.record(0, True, now=110)
+    assert breaker.allow(0, now=110) == (True, 0)
     breaker.record(0, True, now=111)
     assert breaker.state_of(0, now=112) is BreakerState.CLOSED
     assert breaker.allow(0, now=112) == (True, 0)
+
+
+def test_breaker_half_open_single_probe_slot_under_concurrency():
+    """Concurrent same-cycle arrivals during HALF_OPEN must admit exactly
+    one probe; the slot re-opens per verdict, never widening the budget."""
+    breaker = CircuitBreaker(breaker_config())
+    for _ in range(4):
+        breaker.record(0, False, now=0)
+    assert breaker.state_of(0, now=100) is BreakerState.HALF_OPEN
+    verdicts = [breaker.allow(0, now=100)[0] for _ in range(8)]
+    assert verdicts.count(True) == 1
+    # A burst racing the first verdict still gets exactly one more probe.
+    breaker.record(0, True, now=105)
+    verdicts = [breaker.allow(0, now=105)[0] for _ in range(8)]
+    assert verdicts.count(True) == 1
+    # Budget (2 probes) now spent: nothing more until the circuit closes.
+    breaker.record(0, True, now=106)
+    assert breaker.state_of(0, now=107) is BreakerState.CLOSED
 
 
 def test_breaker_probe_failure_retrips():

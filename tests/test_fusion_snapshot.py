@@ -153,17 +153,20 @@ def test_custom_config_bypasses_snapshots(monkeypatch):
 
 
 # --------------------------------------------------------------------- #
-# perfbench schema-2 comparison
+# perfbench schema comparison
 # --------------------------------------------------------------------- #
 
 
-def _payload(schema, engine_rate, q_rate, serve_rate):
-    return {
+def _payload(schema, engine_rate, q_rate, serve_rate, cluster_rate=None):
+    payload = {
         "schema": schema,
         "engine_events_per_sec": engine_rate,
         "queries_per_sec": {"cha-tlb": q_rate},
         "serve_requests_per_sec": serve_rate,
     }
+    if cluster_rate is not None:
+        payload["cluster_requests_per_sec"] = cluster_rate
+    return payload
 
 
 def test_compare_skips_queries_across_schema_versions():
@@ -181,3 +184,21 @@ def test_compare_gates_queries_within_same_schema():
     report = compare(current, baseline, threshold=0.30)
     assert report["queries_per_sec/cha-tlb"]["failed"] is True
     assert report["engine_events_per_sec"]["failed"] is False
+
+
+def test_compare_gates_cluster_throughput_in_schema3():
+    current = _payload(3, 1000.0, 1800.0, 2500.0, cluster_rate=200.0)
+    baseline = _payload(3, 1000.0, 1800.0, 2500.0, cluster_rate=900.0)
+    report = compare(current, baseline, threshold=0.30)
+    assert report["cluster_requests_per_sec"]["failed"] is True
+    assert report["serve_requests_per_sec"]["failed"] is False
+
+
+def test_compare_tolerates_baselines_without_cluster_metric():
+    # A schema-2 baseline predates the cluster bench: the new metric is
+    # simply absent from the intersection, never a KeyError or a failure.
+    current = _payload(2, 1000.0, 1800.0, 2500.0, cluster_rate=500.0)
+    baseline = _payload(2, 1000.0, 1800.0, 2500.0)
+    report = compare(current, baseline, threshold=0.30)
+    assert "cluster_requests_per_sec" not in report
+    assert not any(row["failed"] for row in report.values())

@@ -182,3 +182,85 @@ def test_registry_sketch_shares_storage_and_resets():
     assert snap["serve.latency.count"] == 1
     reg.reset()
     assert reg.sketch("serve.latency").count == 0
+
+
+# --------------------------------------------------------------------- #
+# Cross-node merge: the fleet-SLO property the cluster tier relies on
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=0,
+            max_size=120,
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.sampled_from([50.0, 90.0, 95.0, 99.0, 99.9]),
+)
+def test_cross_node_merge_tracks_pooled_oracle(node_streams, pct):
+    """Merging per-node sketches must answer fleet quantiles within the
+    sketch error bound of a pooled oracle over all raw samples — the
+    property that makes the cluster's fleet-SLO report (a merge of each
+    node's sketch) trustworthy without re-measuring anything."""
+    pooled = [v for stream in node_streams for v in stream]
+    if not pooled:
+        return
+    shards = []
+    for stream in node_streams:
+        shard = PercentileSketch("node.latency")
+        for v in stream:
+            shard.record(v)
+        shards.append(shard)
+    fleet = PercentileSketch("node.latency")
+    for shard in shards:
+        fleet.merge(shard)
+    assert fleet.count == len(pooled)
+    exact = exact_quantile(pooled, pct)
+    approx = fleet.quantile(pct)
+    eps = fleet.relative_error
+    tolerance = eps / (1.0 - eps)
+    assert abs(approx - exact) <= tolerance * max(exact, 1.0)
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=50),
+    st.sampled_from([50.0, 95.0, 99.0]),
+)
+def test_cross_node_merge_zeros_only_band(nodes, per_node, pct):
+    """All-zero node streams (the band PR 4 routed around the log buckets)
+    must merge into exact-zero fleet quantiles, not NaNs or representatives
+    leaked from the smallest log bucket."""
+    fleet = PercentileSketch("node.latency")
+    for _ in range(nodes):
+        shard = PercentileSketch("node.latency")
+        for _ in range(per_node):
+            shard.record(0)
+        fleet.merge(shard)
+    assert fleet.count == nodes * per_node
+    assert fleet.quantile(pct) == 0.0
+    assert fleet.mean == 0.0
+
+
+def test_cross_node_merge_zero_band_mixes_with_positive_samples():
+    """A fleet where one node saw only zeros and another only positives:
+    low quantiles come from the zero band, high ones from the buckets."""
+    zeros = PercentileSketch("node.latency")
+    for _ in range(50):
+        zeros.record(0)
+    busy = PercentileSketch("node.latency")
+    for v in range(1, 51):
+        busy.record(1000 * v)
+    fleet = PercentileSketch("node.latency")
+    fleet.merge(zeros).merge(busy)
+    assert fleet.count == 100
+    assert fleet.quantile(25.0) == 0.0
+    exact = exact_quantile([0] * 50 + [1000 * v for v in range(1, 51)], 99.0)
+    eps = fleet.relative_error
+    assert abs(fleet.quantile(99.0) - exact) <= eps / (1 - eps) * exact
