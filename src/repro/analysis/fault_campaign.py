@@ -30,8 +30,10 @@ from ..core.accelerator import QueryRequest, QueryStatus
 from ..core.cfa import RESULT_ABORTED
 from ..core.isa import read_result
 from ..errors import ReproError
+from ..core.cfa import OP_UPDATE
+from ..core.header import VERSION_OFFSET
 from ..faults import FaultInjector, FaultKind
-from ..faults.injector import MASKABLE_KINDS
+from ..faults.injector import MASKABLE_KINDS, WRITE_KINDS
 from ..system import System
 from ..workloads import make_workload
 from .experiments import SCHEME_ORDER
@@ -72,6 +74,15 @@ class _Target:
     workload: object
     injector: FaultInjector
     nb_result_base: int
+    #: StructureMutator, built on first write-path fault (mutation-capable
+    #: workloads only).
+    mutator: object = None
+    #: Online resizes committed against this target so far.  Each
+    #: RESIZE_STALL fault ends in a committed doubling; unbounded doublings
+    #: would dilute the fixed entry population until the injector's bounded
+    #: discovery scans stop finding occupied slots, so the handler masks
+    #: once the table has grown enough.
+    resizes: int = 0
 
 
 def _build_target(
@@ -366,6 +377,211 @@ def _run_firmware_swap_fault(
     return None
 
 
+def _ensure_mutator(target: _Target):
+    """Lazily arm the write path on a mutation-capable target."""
+    if target.mutator is None:
+        target.system.enable_mutations()
+        target.mutator = target.workload.make_mutator()
+    return target.mutator
+
+
+def _present_key(target: _Target, rng: random.Random):
+    """A (key, stored value) pair the structure is known to hold."""
+    wl = target.workload
+    present = [i for i in range(len(wl.queries)) if wl.expected[i] is not None]
+    if not present:
+        return None, None
+    qidx = present[rng.randrange(len(present))]
+    return wl.key_for(qidx), wl.expected[qidx]
+
+
+def _run_write_abort_fault(
+    target: _Target, rng: random.Random, counts: Dict[str, int]
+) -> Optional[str]:
+    """An orphaned seqlock (dead writer, no QST intent) must abort the
+    write CFA with VERSION_CONFLICT; the software fallback reclaims the
+    lock and applies the mutation."""
+    system = target.system
+    mutator = _ensure_mutator(target)
+    executor = system.mutations()
+    key, before = _present_key(target, rng)
+    if key is None:
+        counts["masked"] = counts.get("masked", 0) + 1
+        return None
+    lock_addr = mutator.header_addr + VERSION_OFFSET
+    version = system.space.read_u64(lock_addr)
+    # An odd version with no live QST write intent is exactly what a writer
+    # crashed before its single commit store leaves behind.
+    system.space.write_u64(lock_addr, version + 1)
+    value = 900_000_000 + rng.randrange(1_000_000)
+    try:
+        handle = executor.submit(mutator, OP_UPDATE, key, value)
+        system.accelerator.wait_for(handle)
+        if handle.status is not QueryStatus.FAULT:
+            return "write-abort: write CFA completed under an orphaned lock"
+        if handle.abort_code is not AbortCode.VERSION_CONFLICT:
+            return (
+                f"write-abort: aborted with {handle.abort_code.name}, "
+                "expected VERSION_CONFLICT"
+            )
+        result = executor.fallback(
+            mutator, OP_UPDATE, key, value, code=handle.abort_code
+        )
+        if result is None or mutator.current(key) != value:
+            return "write-abort: reclaiming fallback lost the update"
+        if system.space.read_u64(lock_addr) & 1:
+            return "write-abort: fallback left the seqlock held"
+    finally:
+        # Whatever happened, put the key back so later faults (and their
+        # read oracle) see the build-time structure.
+        if mutator.current(key) != before:
+            mutator.software_apply(OP_UPDATE, key, before)
+        stuck = system.space.read_u64(lock_addr)
+        if stuck & 1:
+            system.space.write_u64(lock_addr, stuck + 1)
+    counts["write.orphan_reclaimed"] = (
+        counts.get("write.orphan_reclaimed", 0) + 1
+    )
+    return None
+
+
+def _run_version_storm_fault(
+    target: _Target, rng: random.Random, counts: Dict[str, int]
+) -> Optional[str]:
+    """Reads racing a storm of writer commits either thread a gap between
+    bumps (completing with the oracle answer) or abort VERSION_CONFLICT —
+    never a torn value."""
+    system, wl = target.system, target.workload
+    mutator = _ensure_mutator(target)
+    lock_addr = mutator.header_addr + VERSION_OFFSET
+    indices, handles = _submit_nb_batch(target, rng)
+    for _ in range(4):
+        system.engine.advance(rng.randrange(20, 160))
+        version = system.space.read_u64(lock_addr)
+        # Even -> even: each bump is a whole writer win (lock + commit +
+        # release collapsed), the worst case for reader re-validation.
+        system.space.write_u64(lock_addr, version + 2)
+    aborted = 0
+    for qidx, handle in zip(indices, handles):
+        if not handle.done:
+            system.accelerator.wait_for(handle)
+        oracle = wl.expected[qidx]
+        if handle.status is QueryStatus.FAULT:
+            aborted += 1
+            if handle.abort_code is not AbortCode.VERSION_CONFLICT:
+                return (
+                    f"version-storm: faulted with {handle.abort_code.name}, "
+                    "expected VERSION_CONFLICT"
+                )
+            outcome = system.fallback.run_software(
+                lambda qi=qidx: wl.software_lookup(qi),
+                abort_code=AbortCode.VERSION_CONFLICT,
+            )
+            if not outcome.resolved or outcome.value != oracle:
+                return (
+                    f"version-storm: fallback returned {outcome.value!r}, "
+                    f"oracle {oracle!r}"
+                )
+        elif handle.value != oracle:
+            return (
+                f"version-storm: completed read returned {handle.value!r}, "
+                f"oracle {oracle!r}"
+            )
+    key = "abort.version_conflict" if aborted else "masked"
+    counts[key] = counts.get(key, 0) + 1
+    return None
+
+
+def _run_resize_stall_fault(
+    target: _Target, rng: random.Random, counts: Dict[str, int]
+) -> Optional[str]:
+    """Stall an online resize mid-migration: reads keep resolving through
+    the watermark routing, writes abort to software, and the migration then
+    finishes and commits cleanly."""
+    system, wl = target.system, target.workload
+    if target.resizes >= 2:
+        # The table already doubled twice under this campaign; further
+        # doublings only dilute the fixed entry population (breaking the
+        # injector's bounded occupied-slot discovery for later faults)
+        # without adding coverage.
+        counts["masked"] = counts.get("masked", 0) + 1
+        return None
+    mutator = _ensure_mutator(target)
+    executor = system.mutations()
+    resizer = system.start_resize(wl.mutable_structure(), chunk_buckets=8)
+    resizer.start()
+    resizer.step()  # one chunk, then the migration stalls
+
+    # A read during the stall: old-or-new routing, never a wrong value.
+    qidx = rng.randrange(len(wl.queries))
+    handle = system.accelerator.submit(
+        QueryRequest(
+            header_addr=wl.header_addr_for(qidx),
+            key_addr=wl._query_addrs[qidx],
+            blocking=True,
+        ),
+        system.engine.now,
+    )
+    system.accelerator.wait_for(handle)
+    oracle = wl.expected[qidx]
+    if handle.status is QueryStatus.FAULT:
+        if handle.abort_code is not AbortCode.VERSION_CONFLICT:
+            return (
+                f"resize-stall: read faulted with {handle.abort_code.name}"
+            )
+        outcome = system.fallback.run_software(
+            lambda qi=qidx: wl.software_lookup(qi),
+            abort_code=AbortCode.VERSION_CONFLICT,
+        )
+        if not outcome.resolved or outcome.value != oracle:
+            return "resize-stall: read fallback disagrees with the oracle"
+    elif handle.value != oracle:
+        return (
+            f"resize-stall: mid-resize read returned {handle.value!r}, "
+            f"oracle {oracle!r}"
+        )
+
+    # A write during the stall: the CFA refuses (routing is ambiguous for
+    # an accelerated store) and software applies through the watermark.
+    key, before = _present_key(target, rng)
+    violation = None
+    if key is not None:
+        value = 910_000_000 + rng.randrange(1_000_000)
+        whandle = executor.submit(mutator, OP_UPDATE, key, value)
+        system.accelerator.wait_for(whandle)
+        if whandle.status is not QueryStatus.FAULT:
+            violation = "resize-stall: write CFA ran during a live resize"
+        elif whandle.abort_code is not AbortCode.VERSION_CONFLICT:
+            violation = (
+                f"resize-stall: write faulted with "
+                f"{whandle.abort_code.name}, expected VERSION_CONFLICT"
+            )
+        else:
+            result = executor.fallback(
+                mutator, OP_UPDATE, key, value, code=whandle.abort_code
+            )
+            if result is None or mutator.current(key) != value:
+                violation = "resize-stall: software write lost mid-resize"
+
+    # Un-stall: drain the migration, commit through the quiesce, restore.
+    while not resizer.finished:
+        resizer.step()
+    resizer.commit()
+    system.engine.run()
+    if not resizer.committed:
+        return "resize-stall: migration never committed after the stall"
+    if key is not None and mutator.current(key) != before:
+        mutator.software_apply(OP_UPDATE, key, before)
+    if violation:
+        return violation
+    probe = rng.randrange(len(wl.queries))
+    if wl.software_lookup(probe) != wl.expected[probe]:
+        return "resize-stall: post-commit lookup disagrees with the oracle"
+    target.resizes += 1
+    counts["write.resize_stall"] = counts.get("write.resize_stall", 0) + 1
+    return None
+
+
 # --------------------------------------------------------------------- #
 # Campaign driver
 # --------------------------------------------------------------------- #
@@ -396,6 +612,12 @@ def _run_campaign_pass(
             FaultKind.SLICE_FLAP,
             FaultKind.FIRMWARE_SWAP,
         )
+        if target.workload.supports_mutation():
+            kinds = kinds + (
+                FaultKind.WRITE_ABORT,
+                FaultKind.VERSION_STORM,
+                FaultKind.RESIZE_STALL,
+            )
         kind = kinds[rng.randrange(len(kinds))]
         try:
             if kind is FaultKind.INTERRUPT_FLUSH:
@@ -406,6 +628,12 @@ def _run_campaign_pass(
                 )
             elif kind is FaultKind.FIRMWARE_SWAP:
                 violation = _run_firmware_swap_fault(target, rng, counts)
+            elif kind is FaultKind.WRITE_ABORT:
+                violation = _run_write_abort_fault(target, rng, counts)
+            elif kind is FaultKind.VERSION_STORM:
+                violation = _run_version_storm_fault(target, rng, counts)
+            elif kind is FaultKind.RESIZE_STALL:
+                violation = _run_resize_stall_fault(target, rng, counts)
             else:
                 qidx = rng.randrange(len(target.workload.queries))
                 violation = _run_memory_fault(target, kind, qidx, counts)

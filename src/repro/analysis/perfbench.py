@@ -12,15 +12,23 @@ Times the three layers the hot-path work targets and writes the numbers to
 * **serve** — simulated requests/sec through the multi-tenant serving
   tier on the cha-tlb scheme;
 * **cluster** — simulated requests/sec through the replicated multi-node
-  tier (ring routing + membership probing + LB failover, schema 3).
+  tier (ring routing + membership probing + LB failover, schema 3);
+* **writes** — simulated accelerated mutations/sec through the write-CFA
+  path (seqlock acquire, in-place store, version bump; schema 4);
+* **mixed** — simulated requests/sec through the serving tier under
+  read/write service mixes (95/5 and 50/50, schema 4).
 
 ``--baseline PATH`` compares each throughput metric against a previously
 committed ``BENCH_sim.json`` and exits non-zero when any drops by more than
 ``--threshold`` (default 30%), which keeps the check robust to CI machine
-jitter while still catching algorithmic regressions.  Wall-time fields are
-informational and never gated.  Without ``--full`` (i.e. quick mode) the
-expensive ``python -m repro all`` wall-clock measurement is skipped and the
-committed baseline's value is carried forward.
+jitter while still catching algorithmic regressions.  The gate only ever
+compares metrics both payloads share with unchanged semantics, so a
+baseline from an older schema keeps gating the fields it understands while
+the new fields ride along ungated until the baseline is refreshed.
+Wall-time fields are informational and never gated.  Without ``--full``
+(i.e. quick mode) the expensive ``python -m repro all`` wall-clock
+measurement is skipped and the committed baseline's value is carried
+forward.
 """
 
 from __future__ import annotations
@@ -32,7 +40,11 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: Serving-tier write mixes benched for ``mixed_requests_per_sec``:
+#: label -> per-tenant write ratio (95/5 means 5% writes).
+MIXED_WORKLOADS = (("95/5", 0.05), ("50/50", 0.50))
 
 #: Self-rescheduling event chains for the engine microbench.
 ENGINE_CHAINS = 8
@@ -148,6 +160,67 @@ def bench_cluster(requests: int = 400, nodes: int = 8) -> float:
     return _best_of(ROUNDS, one_round)
 
 
+def bench_writes(writes: int = 1500) -> float:
+    """Simulated accelerated mutations/sec (cha-tlb, dpdk hash table).
+
+    Pure in-place UPDATEs over keys the table holds: every operation takes
+    the full write-CFA path (header parse, seqlock CAS, key walk, one-slot
+    commit, version-bump release) without growing the table, so the number
+    isolates the mutation engine's hot path from capacity effects.  The
+    system comes from the warm-snapshot restore path — a private deepcopy —
+    so the mutations never leak into other benches.
+    """
+    from ..core.cfa import OP_UPDATE
+    from .experiments import _build
+
+    def one_round() -> float:
+        system, wl = _build("dpdk", "cha-tlb", quick=True)
+        system.enable_mutations()
+        executor = system.mutations()
+        mutator = wl.make_mutator()
+        keys = [
+            wl.key_for(i)
+            for i in range(len(wl.queries))
+            if wl.expected[i] is not None
+        ]
+        start = time.perf_counter()
+        for i in range(writes):
+            executor.run(mutator, OP_UPDATE, keys[i % len(keys)], 500_000_000 + i)
+        elapsed = time.perf_counter() - start
+        return writes / elapsed if elapsed > 0 else 0.0
+
+    return _best_of(ROUNDS, one_round)
+
+
+def bench_mixed(requests: int = 800) -> Dict[str, float]:
+    """Simulated requests/sec per read/write mix through the serving tier.
+
+    Same tier as :func:`bench_serve` (cha-tlb, two tenants) with a slice of
+    the requests arriving as mutations, so the batcher's write routing, the
+    shadow-oracle bookkeeping and the seqlock traffic are all on the
+    measured path.
+    """
+    from ..serve.driver import run_serving
+
+    rates: Dict[str, float] = {}
+    for label, ratio in MIXED_WORKLOADS:
+
+        def one_round(ratio: float = ratio) -> float:
+            start = time.perf_counter()
+            run_serving(
+                "cha-tlb",
+                tenants=2,
+                requests=requests,
+                seed=7,
+                write_ratio=ratio,
+            )
+            elapsed = time.perf_counter() - start
+            return requests / elapsed if elapsed > 0 else 0.0
+
+        rates[label] = _best_of(ROUNDS, one_round)
+    return rates
+
+
 def bench_repro_all() -> float:
     """Wall-clock seconds of a serial, uncached ``python -m repro all``."""
     from . import snapshot
@@ -183,6 +256,8 @@ def run_bench(quick: bool = True) -> Dict:
         "setup_seconds": setups,
         "serve_requests_per_sec": bench_serve(),
         "cluster_requests_per_sec": bench_cluster(),
+        "writes_per_sec": bench_writes(),
+        "mixed_requests_per_sec": bench_mixed(),
         "repro_all_wall_seconds": None,
     }
     if not quick:
@@ -197,22 +272,28 @@ def _throughput_metrics(payload: Dict) -> Dict[str, float]:
         metrics[f"queries_per_sec/{scheme}"] = rate
     metrics["serve_requests_per_sec"] = payload.get("serve_requests_per_sec")
     metrics["cluster_requests_per_sec"] = payload.get("cluster_requests_per_sec")
+    metrics["writes_per_sec"] = payload.get("writes_per_sec")
+    for label, rate in (payload.get("mixed_requests_per_sec") or {}).items():
+        metrics[f"mixed_requests_per_sec/{label}"] = rate
     return {k: v for k, v in metrics.items() if isinstance(v, (int, float)) and v > 0}
 
 
 def compare(current: Dict, baseline: Dict, threshold: float) -> Dict[str, Dict]:
     """Per-metric regression report; ``failed`` marks drops beyond threshold.
 
-    Only like-for-like metrics are gated: ``queries_per_sec`` changed
-    meaning in schema 2 (ROI-only, was build+run conflated), so when the
-    two payloads disagree on schema those per-scheme metrics are skipped
-    and the gate runs on the fields whose semantics are shared (engine and
-    serve throughput).
+    Only like-for-like metrics are gated.  ``queries_per_sec`` changed
+    meaning in schema 2 (ROI-only, was build+run conflated), so those
+    per-scheme metrics are skipped unless both payloads speak schema >= 2;
+    every later schema only *added* metrics (cluster in 3, writes and
+    mixed-workload throughput in 4), which the shared-metric intersection
+    below already handles — a schema-3 baseline keeps gating engine,
+    queries, serve and cluster throughput against a schema-4 run.
     """
     report: Dict[str, Dict] = {}
     cur = _throughput_metrics(current)
     base = _throughput_metrics(baseline)
-    if current.get("schema") != baseline.get("schema"):
+    schemas = (current.get("schema") or 0, baseline.get("schema") or 0)
+    if min(schemas) < 2 and schemas[0] != schemas[1]:
         cur = {k: v for k, v in cur.items() if not k.startswith("queries_per_sec/")}
         base = {k: v for k, v in base.items() if not k.startswith("queries_per_sec/")}
     for name in sorted(set(cur) & set(base)):
@@ -262,6 +343,9 @@ def perfbench_main(
             print(f"queries: {rate:>12,.1f} q/sec (ROI)  setup {setup:.3f}s  [{scheme}]")
         print(f"serve:   {payload['serve_requests_per_sec']:>12,.1f} req/sec")
         print(f"cluster: {payload['cluster_requests_per_sec']:>12,.1f} req/sec")
+        print(f"writes:  {payload['writes_per_sec']:>12,.1f} mut/sec")
+        for label, rate in payload["mixed_requests_per_sec"].items():
+            print(f"mixed:   {rate:>12,.1f} req/sec  [{label}]")
         if payload["repro_all_wall_seconds"] is not None:
             print(f"repro all: {payload['repro_all_wall_seconds']:.1f} s wall")
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Optional, Tuple
 
 from .errors import ConfigurationError
 
@@ -271,6 +272,16 @@ class ServeConfig:
     hedge_min_samples: int = 64
     #: Total hedged submissions allowed per run (bounded retry amplification).
     hedge_budget: int = 32
+    #: Fraction of each tenant's requests that are writes (docs/mutations.md):
+    #: 0.0 keeps the tier read-only and byte-identical to pre-mutation runs.
+    write_ratio: float = 0.0
+    #: Per-tenant override of ``write_ratio`` (length must equal ``tenants``).
+    tenant_write_ratios: Optional[Tuple[float, ...]] = None
+
+    def write_ratio_of(self, tenant: int) -> float:
+        if self.tenant_write_ratios is not None:
+            return self.tenant_write_ratios[tenant]
+        return self.write_ratio
 
     def __post_init__(self) -> None:
         if self.tenants <= 0:
@@ -323,6 +334,18 @@ class ServeConfig:
             )
         if self.hedge_budget < 0:
             raise ConfigurationError("serve hedge_budget must be >= 0")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ConfigurationError("serve write_ratio must be in [0, 1]")
+        if self.tenant_write_ratios is not None:
+            if len(self.tenant_write_ratios) != self.tenants:
+                raise ConfigurationError(
+                    "serve tenant_write_ratios must list one ratio per tenant"
+                )
+            for ratio in self.tenant_write_ratios:
+                if not 0.0 <= ratio <= 1.0:
+                    raise ConfigurationError(
+                        "serve tenant write ratios must be in [0, 1]"
+                    )
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,10 @@ class AbortCode(enum.IntEnum):
     #: The accelerator home the query was bound to is FAILED or draining
     #: with no surviving slice to reroute to (infrastructure fault).
     SLICE_DOWN = 17
+    #: The header's seqlock version moved (or was odd) during the walk: a
+    #: writer holds or took the structure mid-query.  Readers retry via the
+    #: software fallback; writers back off and retry or fall back.
+    VERSION_CONFLICT = 18
 
     @property
     def is_abort(self) -> bool:

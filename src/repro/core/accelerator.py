@@ -55,12 +55,16 @@ from .abort import AbortCode
 from .cfa import (
     AluOp,
     Compare,
+    Delay,
     Done,
     Fault,
     FirmwareImage,
     HashOp,
+    HeaderCas,
     MemRead,
+    MemWrite,
     MicroAction,
+    OP_LOOKUP,
     QueryContext,
     RESULT_ABORTED,
     RESULT_FAULT,
@@ -69,6 +73,7 @@ from .cfa import (
     STATE_DONE,
     STATE_EXCEPTION,
 )
+from .header import VERSION_OFFSET
 from ..datastructs.hashing import fnv1a64
 from .integration import Integration, SliceState
 from .qst import QstEntry, QueryStateTable
@@ -87,13 +92,21 @@ class QueryStatus(enum.Enum):
 
 @dataclass
 class QueryRequest:
-    """One QUERY instruction's operands."""
+    """One QUERY instruction's operands.
+
+    ``op`` selects the operation (``OP_LOOKUP`` or a write op from
+    :data:`~repro.core.cfa.WRITE_OPS`); write ops carry their operand in
+    ``operand`` — the new value for UPDATE, or the address of the
+    core-staged record to publish for INSERT.
+    """
 
     header_addr: int
     key_addr: int
     core_id: int = 0
     blocking: bool = True
     result_addr: int = 0
+    op: int = OP_LOOKUP
+    operand: int = 0
 
 
 @dataclass
@@ -108,6 +121,11 @@ class QueryHandle:
     value: Optional[int] = None
     fault_detail: str = ""
     abort_code: AbortCode = AbortCode.NONE
+    #: Write queries only: the seqlock version the commit was serialised
+    #: under and the virtual cycle its macro store executed — the exact
+    #: commit order/time for observers (docs/mutations.md).
+    commit_version: Optional[int] = None
+    commit_cycle: Optional[int] = None
     _callbacks: List[Callable[["QueryHandle"], None]] = field(default_factory=list)
 
     @property
@@ -318,12 +336,15 @@ class QeiAccelerator:
             ctx = QueryContext(
                 header_addr=handle.request.header_addr,
                 key_addr=handle.request.key_addr,
+                op=handle.request.op,
+                operand=handle.request.operand,
             )
             entry = self.qst.allocate(
                 ctx,
                 blocking=handle.request.blocking,
                 result_addr=handle.request.result_addr,
                 now=self.engine.now,
+                write_intent=handle.request.op != OP_LOOKUP,
             )
             if entry is None:
                 return  # QST full; retried on the next release
@@ -401,7 +422,7 @@ class QeiAccelerator:
                 type_code = (
                     ctx.header.type_code if ctx.header else self._peek_type(ctx)
                 )
-                program = self.firmware.program_for(type_code)
+                program = self.firmware.program_for(type_code, op=ctx.op)
                 outcome = program.step(ctx)
             except MemoryError_ as fault:
                 detail, code = str(fault), self._memory_code(fault)
@@ -432,6 +453,22 @@ class QeiAccelerator:
             if action is None:
                 ready_at = now + 1
             elif isinstance(action, Done):
+                if self._version_conflict(ctx):
+                    # Seqlock re-validation of the locally-held header line:
+                    # the version moved (or went odd) while the walk ran, so
+                    # a writer raced us and the result may be torn.  Abort;
+                    # the software fallback retries against settled state.
+                    # Functional read only — zero simulated cycles, so
+                    # read-only runs (version fixed at 0) are bit-identical.
+                    detail = "header version changed during walk"
+                    self._run_terminal(
+                        now,
+                        lambda: self._finish_fault(
+                            entry, handle, detail,
+                            code=AbortCode.VERSION_CONFLICT,
+                        ),
+                    )
+                    return
                 value = action.value
                 self._run_terminal(
                     now, lambda: self._finish_complete(entry, handle, value)
@@ -517,6 +554,23 @@ class QeiAccelerator:
             return AbortCode.PROTECTION
         return AbortCode.FAULT
 
+    def _version_conflict(self, ctx: QueryContext) -> bool:
+        """Did the header's seqlock version move since PARSE recorded it?
+
+        Only read queries re-check (writers hold the lock themselves), and
+        only once a header was actually parsed.  The check is functional —
+        the CEE re-validates its locally-held header line, no new memory
+        round-trip — so zero-write runs keep identical timing and stats.
+        """
+        if ctx.op != OP_LOOKUP or ctx.header is None:
+            return False
+        observed = ctx.header.version
+        try:
+            current = self.space.read_u64(ctx.header_addr + VERSION_OFFSET)
+        except MemoryError_:
+            return True  # header page vanished mid-walk: treat as conflict
+        return current != observed
+
     def _peek_type(self, ctx: QueryContext) -> int:
         """Read the type byte functionally to pick the program for START.
 
@@ -575,6 +629,44 @@ class QeiAccelerator:
         if isinstance(action, AluOp):
             self._uop_counts["alu"].add()
             return integ.alus.alu(now, action.cycles)
+
+        # Write-path micro-ops (docs/mutations.md).  Their stats counters
+        # are created lazily so zero-write runs keep a byte-identical
+        # snapshot (golden-stats discipline).
+        if isinstance(action, MemWrite):
+            self.stats.counter("uops.write").add()
+            latency = 0
+            for vaddr, data in action.segments():
+                seg_latency = integ.mem_write(vaddr, len(data), now, home, core_id)
+                self.space.write(vaddr, data)
+                latency = max(latency, seg_latency)
+            commit_version = entry.ctx.vars.get("commit_version")
+            if commit_version is not None:
+                # This was the program's single commit macro-store (lock
+                # releases and version restores never set the var).
+                handle.commit_version = commit_version
+                handle.commit_cycle = now
+            return now + max(1, latency)
+
+        if isinstance(action, HeaderCas):
+            self.stats.counter("uops.cas").add()
+            latency = integ.mem_read(action.vaddr, 8, now, home, core_id)
+            current = self.space.read_u64(action.vaddr)
+            if current == action.expect:
+                # The CEE serialises micro-ops, so read-compare-store is
+                # atomic with respect to every other in-flight query.
+                latency = max(
+                    latency, integ.mem_write(action.vaddr, 8, now, home, core_id)
+                )
+                self.space.write_u64(action.vaddr, action.new)
+                entry.ctx.results[action.tag] = 1
+            else:
+                entry.ctx.results[action.tag] = 0
+            return now + max(1, latency)
+
+        if isinstance(action, Delay):
+            self.stats.counter("uops.delay").add()
+            return now + max(1, action.cycles)
 
         raise AcceleratorError(f"unknown micro-action {action!r}")
 

@@ -39,6 +39,21 @@ RESULT_NOT_FOUND = 2
 RESULT_FAULT = 3
 RESULT_ABORTED = 4
 
+#: Query operation codes carried by a request (docs/mutations.md).  LOOKUP
+#: is the read path every pre-mutation caller uses; the write ops dispatch
+#: to the mutation program table registered for the structure type.
+OP_LOOKUP = 0
+OP_INSERT = 1
+OP_DELETE = 2
+OP_UPDATE = 3
+OP_NAMES = {
+    OP_LOOKUP: "lookup",
+    OP_INSERT: "insert",
+    OP_DELETE: "delete",
+    OP_UPDATE: "update",
+}
+WRITE_OPS = (OP_INSERT, OP_DELETE, OP_UPDATE)
+
 
 # --------------------------------------------------------------------- #
 # Micro-operation vocabulary
@@ -104,6 +119,53 @@ class AluOp:
 
 
 @dataclass(frozen=True)
+class MemWrite:
+    """Store ``data`` at ``vaddr`` through the DPU's store path.
+
+    The write-path counterpart of :class:`MemRead`: mutation CFAs publish
+    slot contents, new-node links and header fields with it.  Writes are
+    only architecturally visible once the engine executes the action, so a
+    program that faults before its MemWrite leaves memory untouched.
+    """
+
+    vaddr: int
+    data: bytes
+    tag: str = "write"
+    also: Tuple[Tuple[int, bytes], ...] = ()
+
+    def segments(self) -> Iterable[Tuple[int, bytes]]:
+        yield self.vaddr, self.data
+        yield from self.also
+
+
+@dataclass(frozen=True)
+class HeaderCas:
+    """Compare-and-swap a u64 at ``vaddr``: the seqlock acquire primitive.
+
+    The engine atomically (the CEE serialises micro-ops) compares the word
+    against ``expect`` and, on match, stores ``new``.  The outcome (1 won,
+    0 lost) lands in ``ctx.results[tag]`` so the program can back off.
+    """
+
+    vaddr: int
+    expect: int
+    new: int
+    tag: str = "cas"
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Stall this query ``cycles`` without occupying a DPU unit.
+
+    Deterministic writer backoff: a mutation program that lost a header CAS
+    waits a fixed, attempt-scaled number of cycles before retrying, instead
+    of spinning on the ALU pool.
+    """
+
+    cycles: int = 1
+
+
+@dataclass(frozen=True)
 class Done:
     """Terminal: query finished with ``value`` (None = not found)."""
 
@@ -118,7 +180,9 @@ class Fault:
     detail: str = ""
 
 
-MicroAction = Union[MemRead, Compare, HashOp, AluOp, Done, Fault]
+MicroAction = Union[
+    MemRead, Compare, HashOp, AluOp, MemWrite, HeaderCas, Delay, Done, Fault
+]
 
 
 @dataclass
@@ -152,6 +216,11 @@ class QueryContext:
     scratch: Dict[str, bytes] = field(default_factory=dict)
     results: Dict[str, int] = field(default_factory=dict)
     vars: Dict[str, int] = field(default_factory=dict)
+    #: Operation code (OP_LOOKUP for the read path; WRITE_OPS dispatch to
+    #: the mutation program table) and its operand: for UPDATE the new
+    #: value, for INSERT the address of the core-staged record to publish.
+    op: int = OP_LOOKUP
+    operand: int = 0
     #: Filled on termination.
     value: Optional[int] = None
     fault_code: int = 0
@@ -235,16 +304,23 @@ class FirmwareImage:
     def __init__(self, *, max_states: int = 256) -> None:
         self.max_states = max_states
         self._programs: Dict[int, CfaProgram] = {}
+        #: Mutation programs (INSERT/DELETE/UPDATE dispatch), keyed by the
+        #: same structure type codes; absent entries mean writes for that
+        #: type run entirely on the software path.
+        self._mutators: Dict[int, CfaProgram] = {}
 
-    def register(self, program: CfaProgram, *, replace: bool = False) -> None:
+    def register(
+        self, program: CfaProgram, *, replace: bool = False, mutation: bool = False
+    ) -> None:
+        table = self._mutators if mutation else self._programs
         program.validate(self.max_states)
-        if program.TYPE_CODE in self._programs and not replace:
+        if program.TYPE_CODE in table and not replace:
             raise FirmwareError(
                 f"type code {program.TYPE_CODE} already has a program "
-                f"({self._programs[program.TYPE_CODE].NAME!r}); "
+                f"({table[program.TYPE_CODE].NAME!r}); "
                 "pass replace=True to update firmware"
             )
-        self._programs[program.TYPE_CODE] = program
+        table[program.TYPE_CODE] = program
 
     def staged_copy(self) -> "FirmwareImage":
         """A candidate image for a live update (same programs and budget).
@@ -255,22 +331,30 @@ class FirmwareImage:
         """
         staged = FirmwareImage(max_states=self.max_states)
         staged._programs = dict(self._programs)
+        staged._mutators = dict(self._mutators)
         return staged
 
     def adopt(self, staged: "FirmwareImage") -> None:
         """Atomically switch to ``staged``'s program table (hot-swap commit)."""
         self._programs = staged._programs
+        self._mutators = staged._mutators
 
-    def program_for(self, type_code: int) -> CfaProgram:
+    def program_for(self, type_code: int, *, op: int = OP_LOOKUP) -> CfaProgram:
+        table = self._programs if op == OP_LOOKUP else self._mutators
         try:
-            return self._programs[type_code]
+            return table[type_code]
         except KeyError as exc:
+            kind = "CFA" if op == OP_LOOKUP else "mutation CFA"
             raise FirmwareError(
-                f"no CFA program loaded for structure type {type_code}"
+                f"no {kind} program loaded for structure type {type_code}"
             ) from exc
 
-    def supports(self, type_code: int) -> bool:
-        return type_code in self._programs
+    def supports(self, type_code: int, *, op: int = OP_LOOKUP) -> bool:
+        table = self._programs if op == OP_LOOKUP else self._mutators
+        return type_code in table
 
     def types(self) -> List[int]:
         return sorted(self._programs)
+
+    def mutation_types(self) -> List[int]:
+        return sorted(self._mutators)

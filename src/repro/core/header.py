@@ -13,8 +13,16 @@ offset size  field
 12     4     flags
 16     8     size (static structures: bucket count / node count)
 24     8     aux pointer (per-type, e.g. skip-list max level)
-32     32    reserved for future extension
+32     8     version (seqlock generation counter; odd = write in progress)
+40     24    reserved for future extension
 ====== ===== =====================================================
+
+The version word is the reader/writer coexistence protocol (docs/
+mutations.md): writers CAS it from even to odd before mutating and write
+it back even+2 after; readers record it at PARSE and re-check it at
+completion, aborting with :attr:`AbortCode.VERSION_CONFLICT` on any
+mismatch.  Read-only structures keep version 0, so their encoded headers
+are byte-identical to the pre-mutation layout.
 """
 
 from __future__ import annotations
@@ -31,8 +39,15 @@ HEADER_BYTES = 64
 #: flags
 FLAG_VALID = 0x1
 FLAG_READ_ONLY = 0x2
+#: An online resize is in flight: the aux field points at an out-of-line
+#: resize descriptor and lookups route per-bucket old-vs-new (docs/
+#: mutations.md).  Only meaningful for HASH_TABLE headers.
+FLAG_RESIZING = 0x4
 #: Every flag bit the architecture defines; anything else is garbage.
-KNOWN_FLAGS_MASK = FLAG_VALID | FLAG_READ_ONLY
+KNOWN_FLAGS_MASK = FLAG_VALID | FLAG_READ_ONLY | FLAG_RESIZING
+
+#: Byte offset of the u64 seqlock version word inside the header line.
+VERSION_OFFSET = 32
 
 #: Architectural bound on the key-length field.  The CFA stages keys through
 #: 64B scratch lines, so keys are streamed; anything past one page is a
@@ -65,6 +80,8 @@ class DataStructureHeader:
     flags: int
     size: int
     aux: int
+    #: Seqlock generation counter (0 for read-only structures).
+    version: int = 0
 
     @property
     def structure_type(self) -> StructureType:
@@ -100,8 +117,10 @@ class DataStructureHeader:
         """
         if self.flags & ~KNOWN_FLAGS_MASK:
             return AbortCode.BAD_MAGIC
-        if len(raw) >= HEADER_BYTES and any(raw[32:HEADER_BYTES]):
+        if len(raw) >= HEADER_BYTES and any(raw[VERSION_OFFSET + 8 : HEADER_BYTES]):
             return AbortCode.BAD_MAGIC
+        if self.version & 1:
+            return AbortCode.VERSION_CONFLICT
         if not self.valid:
             return AbortCode.HEADER_INVALID
         if not 0 < self.key_length <= MAX_KEY_LENGTH:
@@ -126,6 +145,7 @@ class DataStructureHeader:
         out[12:16] = self.flags.to_bytes(4, "little")
         out[16:24] = self.size.to_bytes(8, "little")
         out[24:32] = self.aux.to_bytes(8, "little")
+        out[32:40] = self.version.to_bytes(8, "little")
         return bytes(out)
 
     @classmethod
@@ -142,6 +162,7 @@ class DataStructureHeader:
             flags=int.from_bytes(raw[12:16], "little"),
             size=int.from_bytes(raw[16:24], "little"),
             aux=int.from_bytes(raw[24:32], "little"),
+            version=int.from_bytes(raw[32:40], "little"),
         )
 
     # ------------------------------------------------------------------ #

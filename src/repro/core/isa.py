@@ -25,7 +25,7 @@ from ..errors import AcceleratorError
 from ..mem.paging import AddressSpace
 from .abort import AbortCode
 from .accelerator import QeiAccelerator, QueryHandle, QueryRequest
-from .cfa import RESULT_ABORTED, RESULT_FAULT
+from .cfa import OP_LOOKUP, RESULT_ABORTED, RESULT_FAULT
 
 #: Cycles for a QUERY_NB to hand its operands to the accelerator and retire.
 NB_ACCEPT_CYCLES = 3
@@ -37,11 +37,18 @@ RESULTS_PER_POLL = 8
 
 @dataclass(frozen=True)
 class QueryOperands:
-    """Architectural operands of one QUERY instruction."""
+    """Architectural operands of one QUERY instruction.
+
+    ``op`` selects the operation (:data:`~repro.core.cfa.OP_LOOKUP` or a
+    write op); write ops carry their operand in ``operand`` — the new value
+    for UPDATE, the staged-record address for INSERT (docs/mutations.md).
+    """
 
     header_addr: int
     key_addr: int
     result_addr: int = 0
+    op: int = OP_LOOKUP
+    operand: int = 0
 
 
 @dataclass
@@ -117,6 +124,8 @@ class QueryPort:
                 key_addr=operands.key_addr,
                 core_id=self.core_id,
                 blocking=True,
+                op=operands.op,
+                operand=operands.operand,
             ),
             issue_cycle,
         )
@@ -140,6 +149,8 @@ class QueryPort:
                 core_id=self.core_id,
                 blocking=False,
                 result_addr=operands.result_addr,
+                op=operands.op,
+                operand=operands.operand,
             ),
             issue_cycle,
         )

@@ -31,7 +31,7 @@ from .cfa import (
     STATE_EXCEPTION,
     STATE_START,
 )
-from .header import DataStructureHeader, StructureType
+from .header import FLAG_RESIZING, DataStructureHeader, StructureType
 
 _LIST_NODE = 24
 _TREE_NODE = 32
@@ -131,6 +131,7 @@ class HashTableCfa(_StandardProgram):
     TYPE_CODE = int(StructureType.HASH_TABLE)
     NAME = "hash-table"
     STATES = _StandardProgram.PRELUDE_STATES + (
+        "READ_DESC",
         "HASH",
         "BUCKET_ADDR",
         "READ_LINE",
@@ -145,19 +146,64 @@ class HashTableCfa(_StandardProgram):
     REQUIRES_SIZE = True
 
     def after_parse(self, ctx: QueryContext) -> StepOutcome:
+        if ctx.header.flags & FLAG_RESIZING:
+            # An online resize is in flight: fetch the out-of-line resize
+            # descriptor {new_root, new_buckets, watermark} so candidate
+            # buckets can route old-vs-new (docs/mutations.md).
+            if not ctx.header.aux:
+                return StepOutcome(
+                    STATE_EXCEPTION,
+                    Fault(
+                        code=int(AbortCode.BAD_AUX),
+                        detail="RESIZING header without a descriptor pointer",
+                    ),
+                )
+            return StepOutcome("READ_DESC", MemRead(ctx.header.aux, 24, "desc"))
         return StepOutcome("HASH", HashOp("key", "hash"))
 
     def dispatch(self, ctx: QueryContext) -> StepOutcome:
         v = ctx.vars
+        if ctx.state == "READ_DESC":
+            desc = ctx.scratch["desc"]
+            new_root, new_buckets = _u64(desc, 0), _u64(desc, 8)
+            watermark = _u64(desc, 16)
+            if not new_root or new_buckets != 2 * ctx.header.size:
+                return StepOutcome(
+                    STATE_EXCEPTION,
+                    Fault(
+                        code=int(AbortCode.BAD_AUX),
+                        detail="malformed resize descriptor",
+                    ),
+                )
+            v["new_root"] = new_root
+            v["new_buckets"] = new_buckets
+            v["watermark"] = min(watermark, ctx.header.size)
+            return StepOutcome("HASH", HashOp("key", "hash"))
         if ctx.state == "HASH":
             # The hash unit produced the primary hash; derive the signature
             # and both candidate buckets with one ALU transition.
             h1 = ctx.results["hash"]
+            h2 = secondary_hash(ctx.key)
             num_buckets = ctx.header.size
             sig = signature_of(ctx.key) or 1
             v["sig"] = sig
-            v["b0"] = h1 % num_buckets
-            v["b1"] = secondary_hash(ctx.key) % num_buckets
+            root = ctx.header.root_ptr
+            if "new_root" in v:
+                # Route per candidate: old buckets below the migration
+                # watermark have moved to the doubled table, where the same
+                # hash indexes bucket (h % 2N) = b or b + N.
+                for slot, h in (("b0", h1), ("b1", h2)):
+                    old_bucket = h % num_buckets
+                    if old_bucket < v["watermark"]:
+                        v[slot] = h % v["new_buckets"]
+                        v[slot + "_root"] = v["new_root"]
+                    else:
+                        v[slot] = old_bucket
+                        v[slot + "_root"] = root
+            else:
+                v["b0"] = h1 % num_buckets
+                v["b1"] = h2 % num_buckets
+                v["b0_root"] = v["b1_root"] = root
             v["which"] = 0
             v["line"] = 0
             v["pending"] = 0  # packed slot cursor within the loaded line
@@ -182,8 +228,9 @@ class HashTableCfa(_StandardProgram):
 
     def _read_line(self, ctx: QueryContext) -> StepOutcome:
         v = ctx.vars
-        bucket = v["b0"] if v["which"] == 0 else v["b1"]
-        bucket_addr = ctx.header.root_ptr + bucket * self._bucket_bytes(ctx)
+        which = "b0" if v["which"] == 0 else "b1"
+        bucket = v[which]
+        bucket_addr = v[which + "_root"] + bucket * self._bucket_bytes(ctx)
         offset = v["line"] * 64
         remaining = self._bucket_bytes(ctx) - offset
         if remaining <= 0:

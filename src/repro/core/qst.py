@@ -38,6 +38,10 @@ class QstEntry:
     #: Bumped on every allocation so wakeups scheduled for a released (e.g.
     #: flushed) query never act on the slot's next occupant.
     generation: int = 0
+    #: True while the entry runs a mutation CFA (INSERT/DELETE/UPDATE).
+    #: Flush/fail paths use it to tell write aborts (which may have left a
+    #: seqlock held) from plain read aborts.
+    write_intent: bool = False
 
     @property
     def state(self) -> str:
@@ -79,6 +83,7 @@ class QueryStateTable:
         blocking: bool,
         result_addr: int = 0,
         now: int = 0,
+        write_intent: bool = False,
     ) -> Optional[QstEntry]:
         """Claim the first empty entry; None when the table is full.
 
@@ -95,7 +100,12 @@ class QueryStateTable:
                 entry.result_addr = result_addr
                 entry.steps = 0
                 entry.generation += 1
+                entry.write_intent = write_intent
                 self._allocs.add()
+                if write_intent:
+                    # Created lazily so zero-write runs keep a byte-identical
+                    # stats snapshot (golden-stats discipline).
+                    self.stats.counter("write_intents").add()
                 self.sample_occupancy()
                 return entry
         return None
@@ -109,6 +119,7 @@ class QueryStateTable:
         entry.ready = False
         entry.ctx = None
         entry.result_addr = 0
+        entry.write_intent = False
         self._releases.add()
         if abort_code.is_abort:
             self.stats.counter(f"aborts.{abort_code.name.lower()}").add()
@@ -121,6 +132,10 @@ class QueryStateTable:
 
     def non_blocking_entries(self) -> List[QstEntry]:
         return [e for e in self._entries if e.busy and not e.mode_blocking]
+
+    def write_entries(self) -> List[QstEntry]:
+        """Entries currently executing a mutation CFA (write intents)."""
+        return [e for e in self._entries if e.busy and e.write_intent]
 
     def mean_occupancy(self) -> float:
         return self._occupancy.mean

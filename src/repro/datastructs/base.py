@@ -94,26 +94,40 @@ class SimStructure:
     # Header maintenance (software usage model, Sec. III-B)
     # ------------------------------------------------------------------ #
 
-    def _write_header(self, *, root_ptr: int, size: int, aux: int) -> None:
+    def _write_header(
+        self,
+        *,
+        root_ptr: int,
+        size: int,
+        aux: int,
+        flags: int = FLAG_VALID,
+        version: int = 0,
+    ) -> None:
         DataStructureHeader(
             root_ptr=root_ptr,
             type_code=int(self.TYPE),
             subtype=self._subtype,
             key_length=self.key_length,
-            flags=FLAG_VALID,
+            flags=flags,
             size=size,
             aux=aux,
+            version=version,
         ).store(self.mem.space, self.header_addr)
 
     def header(self) -> DataStructureHeader:
         return DataStructureHeader.load(self.mem.space, self.header_addr)
 
     def _update_header(self, **changes: int) -> None:
+        # Flags and the seqlock version word are preserved unless explicitly
+        # changed: a size/root update must never release (or reset) a held
+        # write lock or drop the RESIZING flag (docs/mutations.md).
         current = self.header()
         fields = {
             "root_ptr": current.root_ptr,
             "size": current.size,
             "aux": current.aux,
+            "flags": current.flags,
+            "version": current.version,
         }
         fields.update(changes)
         self._write_header(**fields)

@@ -23,9 +23,9 @@ small, fixed number of memory accesses the paper calls out for hash tables
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.header import StructureType
+from ..core.header import FLAG_RESIZING, StructureType
 from ..errors import CapacityError, DataStructureError
 from ..cpu.trace import TraceBuilder
 from .base import MATCH_EXIT_MISPREDICT_RATE, ProcessMemory, SimStructure
@@ -71,6 +71,10 @@ class CuckooHashTable(SimStructure):
         self._update_header(root_ptr=table)
         self.table_addr = table
         self._count = 0
+        #: Active online-resize state ({table_addr, num_buckets, desc_addr,
+        #: watermark}) or None.  Structure methods are lock-free — seqlock
+        #: discipline lives in the mutator/resizer layer (core.mutations).
+        self._resize: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -81,6 +85,18 @@ class CuckooHashTable(SimStructure):
         h1 = primary_hash(key) % self.num_buckets
         h2 = secondary_hash(key) % self.num_buckets
         return h1, h2
+
+    def _route(self, h: int) -> int:
+        """Bucket address for hash ``h``, old-vs-new during a resize."""
+        if self._resize is not None:
+            old_bucket = h % self.num_buckets
+            if old_bucket < self._resize["watermark"]:
+                bucket = h % self._resize["num_buckets"]
+                return self._resize["table_addr"] + bucket * self.bucket_bytes
+        return self.table_addr + (h % self.num_buckets) * self.bucket_bytes
+
+    def _candidate_bucket_addrs(self, key: bytes) -> Tuple[int, int]:
+        return self._route(primary_hash(key)), self._route(secondary_hash(key))
 
     def _slot(self, bucket_index: int, slot_index: int) -> int:
         return self._bucket_addr(bucket_index) + slot_index * SLOT_BYTES
@@ -108,12 +124,11 @@ class CuckooHashTable(SimStructure):
         """Insert or update; raises :class:`CapacityError` when stuck."""
         key = self._check_key(key)
         sig = signature_of(key) or 1  # 0 means empty
-        b1, b2 = self._candidate_buckets(key)
 
         # Update in place if present.
         existing = self._find_slot(key, sig)
         if existing is not None:
-            bucket, slot, kv = existing
+            _, kv = existing
             self.mem.space.write_u64(kv, value)
             return
 
@@ -121,11 +136,23 @@ class CuckooHashTable(SimStructure):
         self.mem.space.write_u64(kv, value)
         self.mem.space.write(kv + 8, key)
 
-        if self._try_place(b1, sig, kv) or self._try_place(b2, sig, kv):
+        a1, a2 = self._candidate_bucket_addrs(key)
+        if self._try_place_at(a1, sig, kv) or self._try_place_at(a2, sig, kv):
             self._count += 1
             return
+        if self._resize is not None and (
+            self._resize["watermark"] < self.num_buckets
+        ):
+            # Mid-resize and both routed buckets are full: finish the
+            # migration so placement (and displacement) happens entirely in
+            # the doubled table, then retry there.
+            self.migrate_chunk(self.num_buckets - self._resize["watermark"])
+            a1, a2 = self._candidate_bucket_addrs(key)
+            if self._try_place_at(a1, sig, kv) or self._try_place_at(a2, sig, kv):
+                self._count += 1
+                return
         # Cuckoo displacement from the primary bucket.
-        if self._displace(b1, sig, kv, depth=0):
+        if self._displace_at(a1, sig, kv, depth=0):
             self._count += 1
             return
         raise CapacityError(
@@ -133,52 +160,163 @@ class CuckooHashTable(SimStructure):
             f"({self._count} items in {self.num_buckets} buckets)"
         )
 
-    def _try_place(self, bucket: int, sig: int, kv: int) -> bool:
+    def _read_slot_at(self, slot_addr: int) -> Tuple[int, int]:
+        return self.mem.space.read_2u64(slot_addr)
+
+    def _write_slot_at(self, slot_addr: int, sig: int, kv: int) -> None:
+        self.mem.space.write_u64(slot_addr, sig)
+        self.mem.space.write_u64(slot_addr + 8, kv)
+
+    def _try_place_at(self, bucket_addr: int, sig: int, kv: int) -> bool:
         for slot in range(self.entries_per_bucket):
-            stored_sig, _ = self._read_slot(bucket, slot)
+            stored_sig, _ = self._read_slot_at(bucket_addr + slot * SLOT_BYTES)
             if stored_sig == 0:
-                self._write_slot(bucket, slot, sig, kv)
+                self._write_slot_at(bucket_addr + slot * SLOT_BYTES, sig, kv)
                 return True
         return False
 
-    def _displace(self, bucket: int, sig: int, kv: int, depth: int) -> bool:
+    def _displace_at(self, bucket_addr: int, sig: int, kv: int, depth: int) -> bool:
         if depth >= MAX_DISPLACEMENTS:
             return False
         # Kick the entry whose slot index rotates with depth (simple policy).
-        victim_slot = depth % self.entries_per_bucket
-        victim_sig, victim_kv = self._read_slot(bucket, victim_slot)
-        self._write_slot(bucket, victim_slot, sig, kv)
+        victim_addr = bucket_addr + (depth % self.entries_per_bucket) * SLOT_BYTES
+        victim_sig, victim_kv = self._read_slot_at(victim_addr)
+        self._write_slot_at(victim_addr, sig, kv)
         victim_key = self._kv_key(victim_kv)
-        vb1, vb2 = self._candidate_buckets(victim_key)
-        target = vb2 if vb1 == bucket else vb1
-        if self._try_place(target, victim_sig, victim_kv):
+        va1, va2 = self._candidate_bucket_addrs(victim_key)
+        target = va2 if va1 == bucket_addr else va1
+        if self._try_place_at(target, victim_sig, victim_kv):
             return True
-        return self._displace(target, victim_sig, victim_kv, depth + 1)
+        return self._displace_at(target, victim_sig, victim_kv, depth + 1)
 
     def delete(self, key: bytes) -> bool:
         """Clear the key's slot; returns True when the key was present.
 
-        Deletes stay in software (Sec. IV-A): clearing the signature makes
-        the slot reusable while in-flight accelerator lookups simply stop
-        matching it.
+        Clearing the signature makes the slot reusable while in-flight
+        accelerator lookups simply stop matching it.
         """
         key = self._check_key(key)
         sig = signature_of(key) or 1
         found = self._find_slot(key, sig)
         if found is None:
             return False
-        bucket, slot, _ = found
-        self._write_slot(bucket, slot, 0, 0)
+        slot_addr, _ = found
+        self._write_slot_at(slot_addr, 0, 0)
         self._count -= 1
         return True
 
-    def _find_slot(self, key: bytes, sig: int) -> Optional[Tuple[int, int, int]]:
-        for bucket in self._candidate_buckets(key):
+    def update(self, key: bytes, value: int) -> bool:
+        """Overwrite an existing key's value; False when absent."""
+        key = self._check_key(key)
+        sig = signature_of(key) or 1
+        found = self._find_slot(key, sig)
+        if found is None:
+            return False
+        self.mem.space.write_u64(found[1], value)
+        return True
+
+    def _find_slot(self, key: bytes, sig: int) -> Optional[Tuple[int, int]]:
+        """(slot_addr, kv_ptr) of the key's slot, routing around a resize."""
+        for bucket_addr in self._candidate_bucket_addrs(key):
             for slot in range(self.entries_per_bucket):
-                stored_sig, kv = self._read_slot(bucket, slot)
+                slot_addr = bucket_addr + slot * SLOT_BYTES
+                stored_sig, kv = self._read_slot_at(slot_addr)
                 if stored_sig == sig and kv and self._kv_key(kv) == key:
-                    return bucket, slot, kv
+                    return slot_addr, kv
         return None
+
+    # ------------------------------------------------------------------ #
+    # Online resize (docs/mutations.md) — driven by core.mutations
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resize_active(self) -> bool:
+        return self._resize is not None
+
+    @property
+    def migration_watermark(self) -> int:
+        """Old-bucket classes migrated so far (== num_buckets when done)."""
+        if self._resize is None:
+            return self.num_buckets
+        return self._resize["watermark"]
+
+    def begin_resize(self) -> None:
+        """Publish the doubled table and the out-of-line resize descriptor.
+
+        The caller must hold the header seqlock: this flips FLAG_RESIZING
+        and points aux at the descriptor, after which readers route
+        per-bucket old-vs-new and accelerated writes fall back to software.
+        """
+        if self._resize is not None:
+            raise DataStructureError("resize already in flight")
+        new_buckets = 2 * self.num_buckets
+        new_table = self.mem.alloc(new_buckets * self.bucket_bytes, align=64)
+        desc = self.mem.alloc(24, align=8)
+        space = self.mem.space
+        space.write_u64(desc, new_table)
+        space.write_u64(desc + 8, new_buckets)
+        space.write_u64(desc + 16, 0)
+        self._resize = {
+            "table_addr": new_table,
+            "num_buckets": new_buckets,
+            "desc_addr": desc,
+            "watermark": 0,
+        }
+        header = self.header()
+        self._update_header(aux=desc, flags=header.flags | FLAG_RESIZING)
+
+    def migrate_chunk(self, count: int) -> int:
+        """Move ``count`` bucket classes into the doubled table.
+
+        Entries of old bucket ``b`` land in new bucket ``h % 2N`` (which is
+        ``b`` or ``b + N``); those targets only ever receive entries from
+        class ``b``, so the move always fits.  The caller holds the seqlock,
+        whose release bumps the version and kicks racing readers to retry.
+        """
+        rs = self._resize
+        if rs is None:
+            raise DataStructureError("no resize in flight")
+        space = self.mem.space
+        start = rs["watermark"]
+        end = min(self.num_buckets, start + max(0, count))
+        for bucket in range(start, end):
+            bucket_addr = self.table_addr + bucket * self.bucket_bytes
+            for slot in range(self.entries_per_bucket):
+                slot_addr = bucket_addr + slot * SLOT_BYTES
+                sig, kv = self._read_slot_at(slot_addr)
+                if not sig or not kv:
+                    continue
+                key = self._kv_key(kv)
+                h1 = primary_hash(key)
+                if h1 % self.num_buckets == bucket:
+                    new_bucket = h1 % rs["num_buckets"]
+                else:
+                    new_bucket = secondary_hash(key) % rs["num_buckets"]
+                target = rs["table_addr"] + new_bucket * self.bucket_bytes
+                if not self._try_place_at(target, sig, kv):
+                    raise CapacityError(
+                        "resize invariant violated: migration target full"
+                    )
+                self._write_slot_at(slot_addr, 0, 0)
+        rs["watermark"] = end
+        space.write_u64(rs["desc_addr"] + 16, end)
+        return end - start
+
+    def adopt_resize(self) -> None:
+        """Flip the header to the doubled table (post-quiesce commit)."""
+        rs = self._resize
+        if rs is None or rs["watermark"] < self.num_buckets:
+            raise DataStructureError("cannot adopt an unfinished migration")
+        header = self.header()
+        self._update_header(
+            root_ptr=rs["table_addr"],
+            size=rs["num_buckets"],
+            aux=0,
+            flags=header.flags & ~FLAG_RESIZING,
+        )
+        self.table_addr = rs["table_addr"]
+        self.num_buckets = rs["num_buckets"]
+        self._resize = None
 
     # ------------------------------------------------------------------ #
     # Query — functional reference
@@ -190,7 +328,7 @@ class CuckooHashTable(SimStructure):
         found = self._find_slot(key, sig)
         if found is None:
             return None
-        return self.mem.space.read_u64(found[2])
+        return self.mem.space.read_u64(found[1])
 
     # ------------------------------------------------------------------ #
     # Query — software baseline (functional + micro-op trace)

@@ -158,6 +158,24 @@ class SkipList(SimStructure):
         self._count -= 1
         return True
 
+    def update(self, key: bytes, value: int) -> bool:
+        """Overwrite an existing key's value; False when absent."""
+        key = self._check_key(key)
+        node = self.head_addr
+        for level in range(self.max_level - 1, -1, -1):
+            while True:
+                nxt = self._next(node, level)
+                nxt_key = self._key_of(nxt) if nxt else None
+                if nxt and nxt_key is not None and nxt_key < key:
+                    node = nxt
+                else:
+                    break
+        candidate = self._next(node, 0)
+        if candidate and self._key_of(candidate) == key:
+            self.mem.space.write_u64(candidate + 8, value)
+            return True
+        return False
+
     def items(self) -> Iterator[Tuple[bytes, int]]:
         node = self._next(self.head_addr, 0)
         while node:

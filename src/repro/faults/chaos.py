@@ -36,6 +36,10 @@ SLICE_FAIL = "slice-fail"
 SLICE_RECOVER = "slice-recover"
 FIRMWARE_SWAP = "firmware-swap"
 
+#: Event actions (mixed read/write chaos, docs/mutations.md).
+RESIZE_START = "resize-start"
+RESIZE_COMMIT = "resize-commit"
+
 #: Event actions (cluster chaos; kill/flap/partition mirror the
 #: FaultKind.NODE_KILL / NODE_FLAP / NET_PARTITION taxonomy entries).
 NODE_KILL = "node-kill"
@@ -254,6 +258,200 @@ def _verify(report: ChaosReport) -> None:
         )
 
 
+def run_mutation_chaos(
+    scheme: str,
+    *,
+    seed: int = 7,
+    requests: int = 400,
+    tenants: int = 4,
+    write_ratio: float = 0.5,
+    workload: str = "dpdk",
+    verify: bool = True,
+) -> ChaosReport:
+    """The mixed read/write chaos run (docs/mutations.md).
+
+    The canonical slice-kill/recover/hot-swap schedule runs unchanged, but
+    every tenant issues ``write_ratio`` of its requests as accelerated
+    INSERT/UPDATE/DELETE traffic, and one full online hash-table resize is
+    driven to completion mid-run: started at 20% of the budget, migrating
+    one chunk per terminal request, committed (through the accelerator
+    quiesce) the moment the migration drains.  On top of the read-only
+    contract the run must show **zero wrong reads** (every read value was
+    plausibly visible in the shadow oracle's timeline) and **zero lost or
+    phantom updates** (the drained structure equals the oracle's
+    sequential final state).
+    """
+    from ..serve import ClosedLoopGenerator, build_serving_system
+
+    serve_config = ServeConfig(tenants=tenants, write_ratio=write_ratio)
+    system, built = build_serving_system(
+        scheme, seed=seed, serve_config=serve_config, workload=workload
+    )
+    server = system.make_server(built, serve_config, seed=seed)
+    per_tenant = max(1, requests // serve_config.tenants)
+    for tenant in range(serve_config.tenants):
+        server.attach(
+            ClosedLoopGenerator(
+                tenant,
+                config=serve_config,
+                num_requests=per_tenant,
+                num_queries=len(built.queries),
+                seed=seed,
+                stats=system.stats,
+            )
+        )
+    budget = per_tenant * serve_config.tenants
+
+    events = chaos_schedule(system.integration.accelerator_homes(), budget)
+    pending = list(events)
+    swap_tickets = []
+    server.slo.begin_phase("baseline", system.engine.now)
+
+    resizer = system.start_resize(
+        built.mutable_structure(), chunk_buckets=8
+    )
+    resize_start = ChaosEvent(RESIZE_START, max(1, budget * 20 // 100))
+    resize_commit = ChaosEvent(RESIZE_COMMIT, resize_start.trigger)
+    events = events + [resize_start, resize_commit]
+    resize = {"stepped_at": -1, "committing": False}
+
+    def commit_resize() -> None:
+        # Mirror the firmware hot-swap: stop pulling new work, push the
+        # open bursts through, quiesce-and-flip, resume at commit.
+        resize["committing"] = True
+        server.pause_dispatch()
+        server.batcher.flush_all()
+
+        def committed() -> None:
+            resize_commit.fired_cycle = system.engine.now
+            server.resume_dispatch()
+
+        resizer.commit(on_complete=committed)
+
+    def drive_resize(terminal: int) -> None:
+        if resize["committing"]:
+            return
+        if resize_start.fired_cycle is None:
+            if terminal >= resize_start.trigger:
+                resize_start.fired_cycle = system.engine.now
+                resizer.start()
+                server.slo.begin_phase("resize", system.engine.now)
+        elif not resizer.finished:
+            # One chunk per terminal request: the migration overlaps live
+            # reads and writes instead of completing inside one tick.
+            if terminal > resize["stepped_at"]:
+                resize["stepped_at"] = terminal
+                resizer.step()
+        else:
+            commit_resize()
+
+    def fire(event: ChaosEvent) -> None:
+        event.fired_cycle = system.engine.now
+        if event.action == SLICE_FAIL:
+            event.aborted = system.fail_slice(event.home)
+        elif event.action == SLICE_RECOVER:
+            system.recover_slice(event.home)
+        else:
+            server.pause_dispatch()
+            server.batcher.flush_all()
+            ticket = system.update_firmware(
+                [BPlusTreeCfa(), HashOfListsCfa()],
+                on_complete=lambda upd: server.resume_dispatch(),
+            )
+            swap_tickets.append(ticket)
+        label = (
+            event.action
+            if event.home is None
+            else f"{event.action}-{event.home}"
+        )
+        server.slo.begin_phase(label, system.engine.now)
+
+    def on_tick(srv) -> None:
+        while pending and srv.slo.terminal >= pending[0].trigger:
+            fire(pending.pop(0))
+        drive_resize(srv.slo.terminal)
+
+    serving_report = server.run(on_tick=on_tick)
+    while pending:
+        fire(pending.pop(0))
+        system.engine.run()
+    if resize_commit.fired_cycle is None:
+        # Tiny runs can drain the budget before the migration does; finish
+        # the protocol so the run always includes one *complete* resize.
+        if resize_start.fired_cycle is None:
+            resize_start.fired_cycle = system.engine.now
+            resizer.start()
+        while not resizer.finished:
+            resizer.step()
+        if not resize["committing"]:
+            commit_resize()
+        system.engine.run()
+
+    oracle = server._oracle
+    aggregate = serving_report.aggregate
+    swap_committed = all(t.done for t in swap_tickets)
+    report = ChaosReport(
+        scheme=IntegrationScheme.parse(scheme).value,
+        seed=seed,
+        requests=budget,
+        events=[event.row() for event in events],
+        serving={
+            "aggregate": aggregate,
+            "phases": serving_report.phases,
+            "tenants": serving_report.tenants,
+            "elapsed_cycles": serving_report.elapsed_cycles,
+        },
+        checks={
+            "write_ratio": write_ratio,
+            "result_errors": aggregate["result_errors"],
+            "failed": aggregate["failed"],
+            "availability": aggregate["availability"],
+            "reads_checked": oracle.reads_checked,
+            "wrong_reads": oracle.wrong_reads,
+            "writes_tracked": oracle.writes_tracked,
+            "lost_or_phantom": len(server.write_problems or []),
+            "write_problems": list(server.write_problems or []),
+            "slice_kills": sum(1 for e in events if e.action == SLICE_FAIL),
+            "firmware_swaps": len(swap_tickets),
+            "swap_committed": swap_committed,
+            "resize_committed": resizer.committed,
+            "slice_down_aborts": sum(e.aborted for e in events),
+        },
+    )
+    if verify:
+        _verify_mutation(report)
+    return report
+
+
+def _verify_mutation(report: ChaosReport) -> None:
+    checks = report.checks
+    problems = []
+    if checks["wrong_reads"]:
+        problems.append(f"{checks['wrong_reads']} wrong reads")
+    if checks["result_errors"]:
+        problems.append(f"{checks['result_errors']} result errors")
+    if checks["lost_or_phantom"]:
+        problems.append(
+            f"{checks['lost_or_phantom']} lost/phantom updates: "
+            + "; ".join(checks["write_problems"][:3])
+        )
+    if checks["failed"]:
+        problems.append(f"{checks['failed']} unresolved requests")
+    if checks["availability"] != 1.0:
+        problems.append(f"availability {checks['availability']:.4f} != 1.0")
+    if not checks["swap_committed"]:
+        problems.append("firmware hot-swap never committed")
+    if not checks["resize_committed"]:
+        problems.append("online resize never committed")
+    if any(event["fired_cycle"] is None for event in report.events):
+        problems.append("mutation chaos schedule did not complete")
+    if problems:
+        raise ChaosError(
+            f"mutation chaos contract violated on {report.scheme} "
+            f"(write_ratio={checks['write_ratio']}): " + "; ".join(problems)
+        )
+
+
 def chaos_experiment(
     *,
     schemes=None,
@@ -325,9 +523,51 @@ def chaos_experiment(
             aborts=checks["slice_down_aborts"],
             errors=checks["result_errors"],
         )
+    # Mixed read/write phase (docs/mutations.md): the same schedule plus
+    # one full online resize, under 95/5 and 50/50 write mixes.
+    mixed_scheme = scheme_names[0]
+    for label, write_ratio in (("mixed-95/5", 0.05), ("mixed-50/50", 0.5)):
+        report = run_mutation_chaos(
+            mixed_scheme,
+            seed=seed,
+            requests=requests,
+            tenants=tenants,
+            write_ratio=write_ratio,
+        )
+        for _ in range(max(0, repeats - 1)):
+            again = run_mutation_chaos(
+                mixed_scheme,
+                seed=seed,
+                requests=requests,
+                tenants=tenants,
+                write_ratio=write_ratio,
+            )
+            if again.dump() != report.dump():
+                raise ChaosError(
+                    f"mutation chaos run on {mixed_scheme} is not "
+                    "deterministic: same-seed re-run produced a different "
+                    "report"
+                )
+        checks = report.checks
+        result.add_row(
+            scheme=mixed_scheme,
+            phase=label,
+            admitted=report.serving["aggregate"]["admitted"],
+            completed=report.serving["aggregate"]["completed"],
+            shed=report.serving["aggregate"]["deadline_shed"],
+            availability=checks["availability"],
+            p99=report.serving["aggregate"]["p99"],
+            aborts=checks["slice_down_aborts"],
+            errors=checks["wrong_reads"] + checks["lost_or_phantom"],
+        )
     result.notes.append(
         "contract: zero wrong results, zero hangs (availability 1.0), "
         "firmware swap commits with extension programs live"
+    )
+    result.notes.append(
+        "mixed phases: accelerated writes under the same schedule plus one "
+        "full online resize — zero wrong reads, zero lost/phantom updates "
+        "(errors column = wrong reads + lost/phantom)"
     )
     result.notes.append(
         f"determinism: {repeats} same-seed runs produced byte-identical "

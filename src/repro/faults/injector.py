@@ -61,6 +61,9 @@ class FaultKind(str, enum.Enum):
     NODE_KILL = "node-kill"
     NODE_FLAP = "node-flap"
     NET_PARTITION = "net-partition"
+    WRITE_ABORT = "write-abort"
+    VERSION_STORM = "version-storm"
+    RESIZE_STALL = "resize-stall"
 
 
 #: Infrastructure kinds are machine state, not memory state: the campaign
@@ -84,6 +87,21 @@ CLUSTER_KINDS = frozenset(
         FaultKind.NODE_KILL,
         FaultKind.NODE_FLAP,
         FaultKind.NET_PARTITION,
+    }
+)
+
+#: Write-path kinds (docs/mutations.md) exercise the seqlock protocol —
+#: a dead writer's orphaned lock, a reader racing a storm of version
+#: bumps, a write landing while an online resize is stalled mid-migration.
+#: They are orchestrated through the mutation control surface
+#: (``System.mutations()`` / ``System.start_resize``) by the campaign
+#: driver, never through :meth:`inject`, and only against structures whose
+#: workload supports mutation.
+WRITE_KINDS = frozenset(
+    {
+        FaultKind.WRITE_ABORT,
+        FaultKind.VERSION_STORM,
+        FaultKind.RESIZE_STALL,
     }
 )
 
@@ -119,6 +137,12 @@ EXPECTED_CODES: Dict[FaultKind, Tuple[AbortCode, ...]] = {
     FaultKind.NODE_KILL: (),
     FaultKind.NODE_FLAP: (),
     FaultKind.NET_PARTITION: (),
+    # Seqlock contention and resize routing both surface as
+    # VERSION_CONFLICT; the software path then applies (or re-reads)
+    # against settled state.
+    FaultKind.WRITE_ABORT: (AbortCode.VERSION_CONFLICT,),
+    FaultKind.VERSION_STORM: (AbortCode.VERSION_CONFLICT,),
+    FaultKind.RESIZE_STALL: (AbortCode.VERSION_CONFLICT,),
 }
 
 #: Kinds whose damage can miss the queried path entirely (masked outcome).
@@ -139,6 +163,11 @@ MASKABLE_KINDS = frozenset(
         FaultKind.NODE_KILL,
         FaultKind.NODE_FLAP,
         FaultKind.NET_PARTITION,
+        # A read threading the gap between two version bumps completes
+        # untouched, as does one that lands entirely old-or-new during a
+        # stalled resize.
+        FaultKind.VERSION_STORM,
+        FaultKind.RESIZE_STALL,
     }
 )
 
@@ -278,6 +307,11 @@ class FaultInjector:
                 f"{kind.value} is machine state; raise it via the "
                 "Accelerator/System control surface, not inject()"
             )
+        if kind in WRITE_KINDS:
+            raise InjectionError(
+                f"{kind.value} is write-path state; orchestrate it via "
+                "System.mutations()/start_resize(), not inject()"
+            )
         self.epoch += 1
         header = DataStructureHeader.load(self.space, header_addr)
         handler = getattr(self, f"_inject_{kind.name.lower()}")
@@ -299,7 +333,10 @@ class FaultInjector:
         return "cleared the header VALID flag"
 
     def _inject_header_bad_magic(self, addr: int, header) -> str:
-        offset = 32 + self.rng.randrange(HEADER_BYTES - 32)
+        # Bytes 32..39 are the seqlock version word (core/header.py): any
+        # value there is legitimate mutation state, so garbage must land in
+        # the genuinely-reserved tail 40..63 to be a magic violation.
+        offset = 40 + self.rng.randrange(HEADER_BYTES - 40)
         self._poke(addr + offset, bytes([1 + self.rng.randrange(255)]))
         return f"wrote garbage into reserved header byte {offset}"
 

@@ -219,11 +219,20 @@ class SimulatedCluster:
         self.engine.schedule(self.config.link_latency_cycles, arrive)
 
     def _lb_send(
-        self, node: int, token, tenant: int, index: int, key_pos: int
+        self,
+        node: int,
+        token,
+        tenant: int,
+        index: int,
+        key_pos: int,
+        op: int = 0,
+        value: int = 0,
     ) -> None:
         self._deliver(
             node,
-            lambda: self.nodes[node].receive(token, tenant, index, key_pos),
+            lambda: self.nodes[node].receive(
+                token, tenant, index, key_pos, op, value
+            ),
         )
 
     def _node_respond(
@@ -355,6 +364,19 @@ class SimulatedCluster:
     # Reporting
     # ------------------------------------------------------------------ #
 
+    def write_audit(self) -> List[str]:
+        """Fleet-wide lost/phantom-update audit for mixed runs.
+
+        Every write lands on exactly one node (its key's primary), so the
+        union of the per-node shadow-oracle audits covers the whole write
+        history; a node that served no writes audits trivially clean.
+        """
+        problems: List[str] = []
+        for node in self.nodes:
+            for line in node.write_problems():
+                problems.append(f"node{node.node_id}: {line}")
+        return problems
+
     def merged_service_sketch(self, tenant: int) -> PercentileSketch:
         """Fleet-wide node-service sketch: merge of every node's sketch.
 
@@ -378,6 +400,11 @@ class SimulatedCluster:
         fleet["availability"] = completed / terminal if terminal else 1.0
         fleet["link_drops"] = self._link_drops.value
         fleet["lost_inflight"] = self._lost_inflight.value
+        if self.lb.writes_ok:
+            # Mixed-run extras only: read-only reports keep their schema
+            # (and bytes) unchanged.
+            fleet["writes_ok"] = self.lb.writes_ok
+            fleet["write_problems"] = len(self.write_audit())
         tenants = []
         for tenant in range(self.serve_config.tenants):
             e2e = self.slo.sketch_of(tenant)

@@ -20,6 +20,15 @@ At-least-once semantics: a timed-out attempt may still execute on its node
 while the retry runs elsewhere.  The first ``ok`` response wins (late ones
 are counted ``stale``); every winning value is checked against the
 software oracle, so duplicated execution can never surface a wrong result.
+
+Writes (docs/mutations.md) are routed to the key's *primary* replica only:
+replica data diverges the moment a mutation lands, so fanning a write (or a
+subsequent read of that key) over the group would either double-apply it or
+serve a stale copy.  A written key is therefore pinned — every later
+request for it goes to the same primary (read-your-writes), and the LB's
+result check widens from the static build-time answer to the set of values
+writes have plausibly made visible; the node-side shadow oracle remains the
+tight per-read judge.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ...config import ClusterConfig, ServeConfig
+from ...core.cfa import OP_DELETE
 from ...sim.stats import PercentileSketch, StatsRegistry
 from ..frontend import ServeRequest
 from .membership import Membership, NodeState
@@ -55,6 +65,9 @@ class _Pending:
     tried: Set[int] = field(default_factory=set)
     timeout_event: Optional[object] = None
     resolved: bool = False
+    #: True for writes and for reads of keys a write has pinned: the request
+    #: may only be served by the key's primary replica.
+    primary_only: bool = False
 
 
 class FleetSlo:
@@ -177,8 +190,9 @@ class LoadBalancer:
         self.serve_config = serve_config
         self.ring = ring
         self.membership = membership
-        #: ``send(node, token, tenant, index, key_position)`` puts one
-        #: request on the LB -> node link (the fabric applies latency/drops).
+        #: ``send(node, token, tenant, index, key_position, op, value)``
+        #: puts one request on the LB -> node link (the fabric applies
+        #: latency/drops).
         self._send = send
         self._key_positions = key_positions
         self._expected = expected
@@ -187,6 +201,16 @@ class LoadBalancer:
         #: avoids the node (fed by node retry-after hints and timeouts).
         self._embargo = [0] * config.nodes
         self.outstanding = 0
+        #: Ring positions a write has touched: requests for them are pinned
+        #: to the primary replica (read-your-writes over divergent copies).
+        self._pinned: Set[int] = set()
+        #: Per pinned position, every value a dispatched write could have
+        #: made readable (at-least-once: even a timed-out attempt may have
+        #: applied), plus the build-time answer.  The LB-level result check
+        #: for pinned keys tests membership here; the node-side shadow
+        #: oracle does the cycle-accurate validation.
+        self._valid: Dict[int, Set[Optional[int]]] = {}
+        self.writes_ok = 0
 
     # ------------------------------------------------------------------ #
     # Client-facing admission (LoadGenerator server protocol)
@@ -200,11 +224,13 @@ class LoadBalancer:
             self.config.replication,
             routable=self.membership.routable(),
         )
-        if owners and all(self._embargo[node] > now for node in owners):
+        primary_only = sreq.is_write or key_position in self._pinned
+        gate = owners[:1] if primary_only else owners
+        if gate and all(self._embargo[node] > now for node in gate):
             # Cluster-wide backpressure for this shard: every replica asked
             # for breathing room.  Surface the soonest expiry to the client.
             retry_after = max(
-                1, min(self._embargo[node] for node in owners) - now
+                1, min(self._embargo[node] for node in gate) - now
             )
             self.slo.counters["rejected"].add()
             if sreq.attempts >= self.serve_config.max_admission_attempts:
@@ -213,8 +239,20 @@ class LoadBalancer:
                 self.slo.record_giveup()
             generator.on_rejected(sreq, retry_after)
             return False
+        if sreq.is_write:
+            # Pin the key to its primary and widen the valid-read set by
+            # this write's candidate the moment it is dispatched — a lost
+            # response does not mean a lost execution.
+            self._pinned.add(key_position)
+            valid = self._valid.setdefault(
+                key_position, {self._expected[sreq.index]}
+            )
+            valid.add(None if sreq.op == OP_DELETE else sreq.value)
         pending = _Pending(
-            sreq=sreq, generator=generator, key_position=key_position
+            sreq=sreq,
+            generator=generator,
+            key_position=key_position,
+            primary_only=primary_only,
         )
         self.slo.record_issue()
         self.outstanding += 1
@@ -234,6 +272,11 @@ class LoadBalancer:
         )
         if not owners:
             return []
+        if pending.primary_only:
+            # Mutations (and reads of mutated keys) never fail over to a
+            # stale replica: the primary is the only copy the write landed
+            # on, so retries re-target whoever the ring now calls primary.
+            return owners[:1]
         untried = [node for node in owners if node not in pending.tried]
         if not untried:
             pending.tried.clear()  # new failover round over the full group
@@ -288,6 +331,8 @@ class LoadBalancer:
             pending.sreq.tenant,
             pending.sreq.index,
             pending.key_position,
+            pending.sreq.op,
+            pending.sreq.value,
         )
 
     def _on_timeout(self, pending: _Pending, seq: int) -> None:
@@ -323,8 +368,17 @@ class LoadBalancer:
             # attempt (at-least-once; the oracle check below keeps it honest).
             if pending.timeout_event is not None:
                 pending.timeout_event.cancel()
-            if value != self._expected[pending.sreq.index]:
-                self.slo.counters["result_errors"].add()
+            if pending.sreq.is_write:
+                # A write's result_value is its MUT_* disposition, not a
+                # lookup answer; the node-side shadow oracle audited it.
+                self.writes_ok += 1
+            else:
+                valid = self._valid.get(pending.key_position)
+                if valid is not None:
+                    if value not in valid:
+                        self.slo.counters["result_errors"].add()
+                elif value != self._expected[pending.sreq.index]:
+                    self.slo.counters["result_errors"].add()
             self._complete(pending)
             return
         if seq != pending.attempt_seq:

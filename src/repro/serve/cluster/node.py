@@ -104,7 +104,13 @@ class ClusterNode:
     # ------------------------------------------------------------------ #
 
     def receive(
-        self, token: object, tenant: int, index: int, key_position: int
+        self,
+        token: object,
+        tenant: int,
+        index: int,
+        key_position: int,
+        op: int = 0,
+        value: int = 0,
     ) -> None:
         """One request arriving off the LB link."""
         if not self.alive:
@@ -124,6 +130,8 @@ class ClusterNode:
             index=index,
             request_id=self._next_id,
             arrival_cycle=self.system.engine.now,
+            op=op,
+            value=value,
         )
         self._tokens[self._key(request)] = token
         self.server.accept(self.server._generators_by_tenant[tenant], request)
@@ -174,6 +182,18 @@ class ClusterNode:
     def flush(self) -> bool:
         """Force open batches out (stall recovery); True when any flushed."""
         return self.server.batcher.flush_all()
+
+    def write_problems(self) -> List[str]:
+        """The node's lost/phantom-update audit (empty when read-only).
+
+        The cluster loop drives :meth:`pump` directly and never calls
+        ``QueryServer.run``, so the shadow-oracle final check has to be
+        requested explicitly once the fleet drains.
+        """
+        oracle = self.server._oracle
+        if oracle is None:
+            return []
+        return oracle.final_check()
 
     @property
     def busy(self) -> bool:

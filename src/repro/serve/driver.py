@@ -81,12 +81,19 @@ def run_serving(
     workload: str = "dpdk",
     serve_config: Optional[ServeConfig] = None,
     watchdog_steps: Optional[int] = None,
+    write_ratio: float = 0.0,
 ) -> ServingReport:
-    """One complete serving run; ``requests`` is the fleet-wide budget."""
+    """One complete serving run; ``requests`` is the fleet-wide budget.
+
+    ``write_ratio`` > 0 turns the run into a mixed read/write workload
+    (docs/mutations.md): that fraction of each tenant's requests becomes
+    accelerated INSERT/UPDATE/DELETE traffic on the workload's structure.
+    """
     if serve_config is None:
         serve_config = ServeConfig(
             tenants=tenants,
             offered_load=offered_load or ServeConfig.offered_load,
+            write_ratio=write_ratio,
         )
     system, built = build_serving_system(
         scheme,
@@ -115,6 +122,7 @@ def run_serving(
                 num_queries=len(built.queries),
                 seed=seed,
                 stats=system.stats,
+                write_ratio=serve_config.write_ratio_of(tenant),
             )
         server.attach(generator)
     return server.run()

@@ -50,6 +50,15 @@ class ServeRequest:
     outcome: Optional[str] = None
     #: The query's result value when ``outcome`` is "ok".
     result_value: Optional[int] = None
+    #: Operation code (:data:`~repro.core.cfa.OP_LOOKUP` by default; write
+    #: ops route through the mutation CFAs, docs/mutations.md).
+    op: int = 0
+    #: Write payload: the new value for UPDATE/INSERT (ignored for reads).
+    value: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.op != 0
 
 
 @dataclass(frozen=True)

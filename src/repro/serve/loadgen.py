@@ -21,6 +21,7 @@ import random
 from typing import Optional
 
 from ..config import ServeConfig
+from ..core.cfa import OP_DELETE, OP_INSERT, OP_LOOKUP, OP_UPDATE
 from ..sim.stats import StatsRegistry
 from .frontend import ServeRequest
 
@@ -45,14 +46,18 @@ class LoadGenerator:
         num_queries: int,
         seed: int,
         stats: Optional[StatsRegistry] = None,
+        write_ratio: float = 0.0,
     ) -> None:
         if num_requests <= 0:
             raise ValueError("load generator needs a positive request budget")
         if num_queries <= 0:
             raise ValueError("load generator needs a non-empty query stream")
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
         self.tenant = tenant
         self.num_requests = num_requests
         self.num_queries = num_queries
+        self.write_ratio = write_ratio
         self.rng = tenant_rng(seed, tenant)
         self.stats = (stats or StatsRegistry()).scoped(
             f"serve.tenant{tenant}.client"
@@ -80,13 +85,32 @@ class LoadGenerator:
 
     # ------------------------------------------------------------------ #
 
+    #: Write-op mix among writes: mostly in-place UPDATEs with a tail of
+    #: route-add INSERTs and withdrawals (DELETEs), like a FIB control plane.
+    WRITE_MIX = ((0.70, OP_UPDATE), (0.90, OP_INSERT), (1.01, OP_DELETE))
+
     def _make_request(self) -> ServeRequest:
         self.issued += 1
+        op = OP_LOOKUP
+        value = 0
+        # Gate every extra RNG draw on the ratio so a read-only run consumes
+        # the exact pre-mutation arrival stream (golden-stats discipline).
+        if self.write_ratio and self.rng.random() < self.write_ratio:
+            roll = self.rng.random()
+            for cutoff, candidate in self.WRITE_MIX:
+                if roll < cutoff:
+                    op = candidate
+                    break
+            # Unique per (tenant, request) so the shadow oracle can tell
+            # every write's payload apart when checking for torn reads.
+            value = (self.tenant + 1) * 1_000_000 + self.issued
         return ServeRequest(
             tenant=self.tenant,
             index=self.rng.randrange(self.num_queries),
             request_id=self.issued,
             arrival_cycle=self.engine.now,
+            op=op,
+            value=value,
         )
 
     # Server callbacks ------------------------------------------------- #
@@ -110,6 +134,7 @@ class OpenLoopGenerator(LoadGenerator):
         num_queries: int,
         seed: int,
         stats: Optional[StatsRegistry] = None,
+        write_ratio: float = 0.0,
     ) -> None:
         super().__init__(
             tenant,
@@ -117,6 +142,7 @@ class OpenLoopGenerator(LoadGenerator):
             num_queries=num_queries,
             seed=seed,
             stats=stats,
+            write_ratio=write_ratio,
         )
         if rate <= 0:
             raise ValueError("open-loop rate must be positive")
@@ -158,6 +184,7 @@ class ClosedLoopGenerator(LoadGenerator):
         num_queries: int,
         seed: int,
         stats: Optional[StatsRegistry] = None,
+        write_ratio: Optional[float] = None,
     ) -> None:
         super().__init__(
             tenant,
@@ -165,6 +192,11 @@ class ClosedLoopGenerator(LoadGenerator):
             num_queries=num_queries,
             seed=seed,
             stats=stats,
+            write_ratio=(
+                config.write_ratio_of(tenant)
+                if write_ratio is None
+                else write_ratio
+            ),
         )
         self.concurrency = config.concurrency
         self.think_cycles = config.think_cycles

@@ -125,13 +125,42 @@ class QueryServer:
         #: scribbles over a slot the pool already re-issued.
         self._hedge_slots: List[int] = []
         self._hedges_issued = 0
+        #: Write-path plumbing (docs/mutations.md) — built only when some
+        #: tenant has a non-zero write ratio, so a read-only run constructs
+        #: nothing and keeps a byte-identical stats snapshot.
+        self._mutator = None
+        self._oracle = None
+        self._write_tokens: Dict[int, int] = {}
+        self.write_problems: Optional[List[str]] = None
+        if any(
+            self.config.write_ratio_of(t) > 0
+            for t in range(self.config.tenants)
+        ):
+            self._enable_writes()
 
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #
 
+    def _enable_writes(self) -> None:
+        """Load mutation firmware and build the mutator + shadow oracle."""
+        if self._mutator is not None:
+            return
+        if not self.workload.supports_mutation():
+            raise ServingError(
+                f"workload {self.workload.name!r} has no mutable structure; "
+                "set every write ratio to 0"
+            )
+        from .oracle import ShadowOracle
+
+        self.system.enable_mutations()
+        self._mutator = self.workload.make_mutator()
+        self._oracle = ShadowOracle(self.workload, self._mutator)
+
     def attach(self, generator: LoadGenerator) -> None:
         """Register one tenant's load generator (exactly one per tenant)."""
+        if getattr(generator, "write_ratio", 0.0) > 0:
+            self._enable_writes()
         if generator.tenant >= self.config.tenants:
             raise ServingError(
                 f"generator tenant {generator.tenant} outside the configured "
@@ -213,25 +242,41 @@ class QueryServer:
     def _key(self, request: ServeRequest) -> int:
         return request.request_id * self.config.tenants + request.tenant
 
+    def _stage_write(self, request: ServeRequest) -> int:
+        """Stage a write's CFA operand and open its oracle window."""
+        key = self.workload.key_for(request.index)
+        operand = self._mutator.stage(request.op, key, request.value)
+        self._write_tokens[self._key(request)] = self._oracle.begin_write(
+            request.op, key, request.value, self.engine.now
+        )
+        self._serve_stats.counter("writes.dispatched").add()
+        return operand
+
     def _prepare_nb(self, request: ServeRequest) -> QueryRequest:
         slot = self._slots.pop()
         self._slot_of[self._key(request)] = slot
+        operand = self._stage_write(request) if request.is_write else 0
         return QueryRequest(
             header_addr=self.workload.header_addr_for(request.index),
             key_addr=self.workload._query_addrs[request.index],
             core_id=self.core_of(request.tenant),
             blocking=False,
             result_addr=slot,
+            op=request.op,
+            operand=operand,
         )
 
     def _submit_blocking(self, request: ServeRequest) -> None:
         request.dispatch_cycle = self.engine.now
+        operand = self._stage_write(request) if request.is_write else 0
         handle = self.accelerator.submit(
             QueryRequest(
                 header_addr=self.workload.header_addr_for(request.index),
                 key_addr=self.workload._query_addrs[request.index],
                 core_id=self.core_of(request.tenant),
                 blocking=True,
+                op=request.op,
+                operand=operand,
             ),
             self.engine.now,
         )
@@ -254,6 +299,8 @@ class QueryServer:
         )
 
     def _arm_hedge(self, request: ServeRequest) -> None:
+        if request.is_write:
+            return  # a hedged write would double-apply the mutation
         if self._hedges_issued >= self.config.hedge_budget:
             return
         threshold = self._hedge_threshold(request.tenant)
@@ -320,6 +367,11 @@ class QueryServer:
         """Deadline-expired request: distinct SLO outcome, never executed."""
         request.resolved = True
         request.outcome = "shed"
+        token = self._write_tokens.pop(self._key(request), None)
+        if token is not None:
+            # Shed out of an open burst before submission: the staged write
+            # never reached memory, so its oracle window closes unused.
+            self._oracle.cancel_write(token)
         self.slo.record_shed(request.tenant)
         if self.breaker is not None:
             self.breaker.record(request.tenant, False, self.engine.now)
@@ -345,6 +397,9 @@ class QueryServer:
                 if slot is not None:
                     self._slots.append(slot)
             return
+        if request.is_write:
+            self._resolve_write(request, handle)
+            return
         request.resolved = True
         tenant = request.tenant
         accelerated = handle.status in (
@@ -358,7 +413,7 @@ class QueryServer:
             )
             request.outcome = "ok"
             request.result_value = handle.value
-            if handle.value != self.workload.expected[request.index]:
+            if not self._read_ok(request, handle.value, completion):
                 self.slo.record_error()
         else:
             # Aborted under load: the PR-1 contract routes the query through
@@ -378,7 +433,9 @@ class QueryServer:
             else:
                 request.outcome = "ok"
                 request.result_value = outcome.value
-                if outcome.value != self.workload.expected[request.index]:
+                if not self._read_ok(
+                    request, outcome.value, outcome.completion_cycle
+                ):
                     self.slo.record_error()
         if self.breaker is not None:
             # Aborts count as failures even when the fallback resolved them:
@@ -390,6 +447,74 @@ class QueryServer:
                 self._slots.append(slot)
         # A hedge win leaves the primary slot parked in ``_slot_of`` until
         # the primary handle goes terminal (the early-return branch above).
+        self._outstanding -= 1
+        self._tenant_outstanding[tenant] -= 1
+        self._generators_by_tenant[tenant].on_resolved(request)
+
+    def _read_ok(
+        self, request: ServeRequest, value: Optional[int], completion: int
+    ) -> bool:
+        """Judge a read's value: static table when read-only, oracle when
+        writes are in flight (the expected value is then time-dependent)."""
+        if self._oracle is None:
+            return value == self.workload.expected[request.index]
+        dispatch = (
+            request.dispatch_cycle
+            if request.dispatch_cycle is not None
+            else request.arrival_cycle
+        )
+        return self._oracle.check_read(request.index, value, dispatch, completion)
+
+    def _resolve_write(self, request: ServeRequest, handle: QueryHandle) -> None:
+        request.resolved = True
+        tenant = request.tenant
+        key = self._key(request)
+        token = self._write_tokens.pop(key, None)
+        accelerated = handle.status in (
+            QueryStatus.FOUND,
+            QueryStatus.NOT_FOUND,
+        )
+        if accelerated:
+            # FOUND carries the MUT_* result code; NOT_FOUND is an
+            # UPDATE/DELETE miss (the structure is unchanged).
+            result = handle.value if handle.status is QueryStatus.FOUND else None
+            completion = handle.completion_cycle or self.engine.now
+            commit_seq = handle.commit_version
+            commit_cycle = handle.commit_cycle or completion
+            if result is not None:
+                self._mutator.note_accelerated(request.op, result)
+            self.slo.record_completion(
+                tenant, completion - request.arrival_cycle, accelerated=True
+            )
+        else:
+            # Aborted write (version conflict, resize window, slice kill):
+            # apply in software under the seqlock, on the shared clock.
+            result = self.system.mutations().fallback(
+                self._mutator,
+                request.op,
+                self.workload.key_for(request.index),
+                request.value,
+                code=handle.abort_code,
+            )
+            commit_seq = self._mutator.last_commit_version
+            commit_cycle = self.engine.now
+            self.slo.record_completion(
+                tenant,
+                self.engine.now - request.arrival_cycle,
+                accelerated=False,
+            )
+        if token is not None:
+            self._oracle.end_write(
+                token, result, commit_seq=commit_seq, commit_cycle=commit_cycle
+            )
+        request.outcome = "ok"
+        request.result_value = result
+        self._serve_stats.counter("writes.completed").add()
+        if self.breaker is not None:
+            self.breaker.record(tenant, accelerated, self.engine.now)
+        slot = self._slot_of.pop(key, None)
+        if slot is not None:
+            self._slots.append(slot)
         self._outstanding -= 1
         self._tenant_outstanding[tenant] -= 1
         self._generators_by_tenant[tenant].on_resolved(request)
@@ -460,6 +585,16 @@ class QueryServer:
             if steps > _STALL_GUARD_STEPS:
                 raise ServingError("serving loop exceeded its step guard")
         elapsed = self.engine.now - start
+        if self._oracle is not None:
+            # Lost/phantom-update audit: the drained structure must match
+            # the oracle's sequential final state exactly.
+            self.write_problems = self._oracle.final_check()
+            self._serve_stats.counter("writes.lost_or_phantom").add(
+                len(self.write_problems)
+            )
+            self._serve_stats.counter("reads.wrong").add(
+                self._oracle.wrong_reads
+            )
         return self.slo.report(
             scheme=self.system.scheme.value,
             mode=self.mode,

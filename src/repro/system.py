@@ -243,8 +243,47 @@ class System:
         self.fallback = FallbackExecutor(
             self.accelerator, self.config.fallback, stats=self.stats
         )
+        self._mutations = None
 
     # ------------------------------------------------------------------ #
+
+    def mutations(self):
+        """The write-path executor (docs/mutations.md), built on demand.
+
+        Constructed lazily — and with lazily-created counters — so a
+        read-only run keeps a byte-identical stats snapshot whether or not
+        the mutation subsystem is loaded.
+        """
+        if self._mutations is None:
+            from .core.mutations import MutationExecutor
+
+            self._mutations = MutationExecutor(self)
+        return self._mutations
+
+    def enable_mutations(self, *, replace: bool = False) -> None:
+        """Register the INSERT/UPDATE/DELETE CFA programs on live firmware.
+
+        Idempotent: programs whose type already has a mutation CFA are left
+        alone unless ``replace`` is set.
+        """
+        from .core.mutations import mutation_programs
+
+        loaded = set(self.firmware.mutation_types())
+        for program in mutation_programs():
+            if program.TYPE_CODE in loaded and not replace:
+                continue
+            self.firmware.register(program, replace=replace, mutation=True)
+
+    def start_resize(self, table, *, chunk_buckets: int = 8):
+        """An :class:`~repro.core.mutations.OnlineResizer` for ``table``.
+
+        The caller drives ``start()`` / ``step()`` / ``commit()`` (or
+        ``run_to_completion()``) while queries keep landing on the
+        old-or-new versioned regions.
+        """
+        from .core.mutations import OnlineResizer
+
+        return OnlineResizer(self, table, chunk_buckets=chunk_buckets)
 
     def query_port(self, core_id: int = 0) -> QueryPort:
         """A per-core port that QUERY micro-ops resolve through."""

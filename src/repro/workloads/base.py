@@ -174,6 +174,31 @@ class QueryWorkload:
                 count=max(1, self.app_other_cycles // link), latency=link
             )
 
+    # ----------------- mutation support (docs/mutations.md) ------------ #
+
+    #: Workloads whose primary structure has a registered mutation CFA set
+    #: this True and implement :meth:`mutable_structure`.
+    MUTABLE = False
+
+    def supports_mutation(self) -> bool:
+        return self.MUTABLE
+
+    def mutable_structure(self):
+        """The structure write traffic targets (header + software side)."""
+        raise WorkloadError(f"workload {self.name!r} has no mutable structure")
+
+    def make_mutator(self):
+        """A :class:`~repro.core.mutations.StructureMutator` for this
+        workload's primary structure."""
+        from ..core.mutations import make_mutator
+
+        return make_mutator(self.system, self.mutable_structure())
+
+    def key_for(self, index: int) -> bytes:
+        """The ``index``-th query key (write generators mutate hot keys)."""
+        self._require_built()
+        return self._queries[index % len(self._queries)]
+
     @property
     def queries(self) -> List[bytes]:
         return self._queries

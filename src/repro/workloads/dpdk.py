@@ -27,6 +27,8 @@ class DpdkFibWorkload(QueryWorkload):
     app_other_work = 220      # rest of packet processing (rx/tx, checksums)
     #: calibrated so query ops take ~44% of app time (paper Fig. 1)
     app_other_cycles = 150
+    #: FIB entries take route add/withdraw traffic (docs/mutations.md).
+    MUTABLE = True
 
     def __init__(
         self,
@@ -76,3 +78,7 @@ class DpdkFibWorkload(QueryWorkload):
 
     def software_lookup(self, index: int):
         return self.table.lookup(self._queries[index])
+
+    def mutable_structure(self):
+        self._require_built()
+        return self.table

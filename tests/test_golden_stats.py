@@ -46,13 +46,20 @@ def _snapshot_hash(stats) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _measure_pair(workload: str, scheme: str) -> dict:
+def _measure_pair(workload: str, scheme: str, mutations: bool = False) -> dict:
     from repro.analysis.experiments import _build
     from repro.workloads import run_baseline, run_qei
 
     sys_b, wl_b = _build(workload, scheme, quick=True)
+    if mutations:
+        # Loading the write-CFA subsystem (firmware mutation programs,
+        # seqlock plumbing) must be invisible to a read-only run: same
+        # cycles, same instructions, same full stats snapshot.
+        sys_b.enable_mutations()
     baseline = run_baseline(sys_b, wl_b)
     sys_q, wl_q = _build(workload, scheme, quick=True)
+    if mutations:
+        sys_q.enable_mutations()
     qei = run_qei(sys_q, wl_q)
     return {
         "baseline_cycles": baseline.cycles,
@@ -100,6 +107,14 @@ def test_roi_pair_matches_golden(workload, scheme):
 def test_serve_report_matches_golden(scheme, tenants, requests, seed):
     golden = _load_golden()["serve"][f"{scheme}/t{tenants}/r{requests}/s{seed}"]
     assert _measure_serve(scheme, tenants, requests, seed) == golden
+
+
+@pytest.mark.parametrize("workload,scheme", PAIRS)
+def test_roi_pair_unchanged_with_mutations_loaded(workload, scheme):
+    # Same golden entries as the plain pairs: enabling the mutation
+    # subsystem on a read-only run must be bit-invisible.
+    golden = _load_golden()["pairs"][f"{workload}/{scheme}"]
+    assert _measure_pair(workload, scheme, mutations=True) == golden
 
 
 if __name__ == "__main__":

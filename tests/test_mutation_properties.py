@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) on the mutation seqlock protocol.
+
+Random interleavings of accelerated readers and writers over one versioned
+header must never surface a torn value — every completed read returns a
+value the key actually held at some point — and the structure must always
+converge to the sequential oracle obtained by replaying the committed
+writes in seqlock-ordinal order.  Writers that lose the race abort with
+``VERSION_CONFLICT`` and the software fallback, which serialises through
+the same lock, slots into the same commit history.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import small_config
+from repro.core.abort import AbortCode
+from repro.core.accelerator import QueryRequest, QueryStatus
+from repro.core.cfa import OP_DELETE, OP_UPDATE
+from repro.system import System
+from repro.workloads import make_workload
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build():
+    system = System(small_config(2), "cha-tlb")
+    workload = make_workload(
+        "dpdk", system, num_flows=48, num_buckets=32, num_queries=12,
+        zipf=False,
+    )
+    system.enable_mutations()
+    return system, workload
+
+
+@given(seed=st.integers(0, 10**6), n_ops=st.integers(4, 14))
+@SLOW
+def test_interleaved_schedules_never_tear_and_converge(seed, n_ops):
+    rng = random.Random(seed)
+    system, wl = build()
+    executor = system.mutations()
+    mutator = wl.make_mutator()
+    version_addr = mutator.lock.vaddr
+    initial_version = system.space.read_u64(version_addr)
+    present = [i for i in range(len(wl.queries)) if wl.expected[i] is not None]
+
+    writes = []  # (handle, op, key, value)
+    reads = []  # (query index, handle)
+    next_value = 700_000_000
+    for _ in range(n_ops):
+        if rng.random() < 0.45 and present:
+            qidx = present[rng.randrange(len(present))]
+            key = wl.key_for(qidx)
+            op = OP_UPDATE if rng.random() < 0.75 else OP_DELETE
+            next_value += 1
+            handle = executor.submit(mutator, op, key, next_value)
+            writes.append((handle, op, key, next_value))
+        else:
+            qidx = rng.randrange(len(wl.queries))
+            handle = system.accelerator.submit(
+                QueryRequest(
+                    header_addr=wl.header_addr_for(qidx),
+                    key_addr=wl._query_addrs[qidx],
+                    blocking=True,
+                ),
+                system.engine.now,
+            )
+            reads.append((qidx, handle))
+        system.engine.advance(rng.randrange(1, 300))
+
+    for handle, *_ in writes:
+        system.accelerator.wait_for(handle)
+    for _, handle in reads:
+        system.accelerator.wait_for(handle)
+
+    # Writers either committed (stamped with their seqlock ordinal), missed
+    # (deleted-then-updated keys), or aborted VERSION_CONFLICT and commit
+    # through the software fallback instead.
+    committed = []  # (ordinal, op, key, value)
+    for handle, op, key, value in writes:
+        if handle.status is QueryStatus.FAULT:
+            assert handle.abort_code is AbortCode.VERSION_CONFLICT, (
+                f"writer aborted with {handle.abort_code!r}"
+            )
+            result = executor.fallback(mutator, op, key, value, code=handle.abort_code)
+            if result is not None:
+                committed.append((mutator.last_commit_version, op, key, value))
+        else:
+            assert handle.status in (QueryStatus.FOUND, QueryStatus.NOT_FOUND)
+            if handle.value is not None:
+                committed.append((handle.commit_version, op, key, value))
+
+    # Torn-value check: a completed read only ever returns a value its key
+    # legitimately held — the build-time value, a value some writer stored,
+    # or absent — never a blend of two writes.
+    written = {}
+    for _, op, key, value in writes:
+        written.setdefault(key, set()).add(value if op == OP_UPDATE else None)
+    for qidx, handle in reads:
+        key = wl.key_for(qidx)
+        if handle.status is QueryStatus.FAULT:
+            assert handle.abort_code is AbortCode.VERSION_CONFLICT, (
+                f"reader aborted with {handle.abort_code!r}"
+            )
+            continue
+        legal = {wl.expected[qidx], None} | written.get(key, set())
+        assert handle.value in legal, (
+            f"read returned {handle.value!r}, legal set {legal!r}"
+        )
+
+    # Convergence: replaying the committed writes in seqlock-ordinal order
+    # over the build-time state reproduces the structure's final state.
+    ordinals = [ordinal for ordinal, *_ in committed]
+    assert len(set(ordinals)) == len(ordinals), "commit ordinals collided"
+    state = {wl.key_for(i): wl.expected[i] for i in range(len(wl.queries))}
+    for _, op, key, value in sorted(committed, key=lambda entry: entry[0]):
+        state[key] = None if op == OP_DELETE else value
+    for key, expected in state.items():
+        assert mutator.current(key) == expected, (
+            f"final state diverged for {key!r}"
+        )
+
+    # The seqlock settles even (no writer left holding it) and never runs
+    # backwards.
+    final_version = system.space.read_u64(version_addr)
+    assert final_version % 2 == 0
+    assert final_version >= initial_version
