@@ -31,6 +31,7 @@ from .analysis.registry import (
     TAKES_CHAOS,
     TAKES_CLUSTER,
     TAKES_QUICK,
+    TAKES_QUORUM,
     TAKES_SEEDED,
     TAKES_SERVE,
     TAKES_WORKLOADS,
@@ -167,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="cluster-chaos: replicas per key on the hash ring (default 2)",
     )
+    parser.add_argument(
+        "--quorum",
+        type=int,
+        default=2,
+        help=(
+            "recovery-chaos: replica acks (committing primary included) a "
+            "write needs before its ok is released (default 2)"
+        ),
+    )
     return parser
 
 
@@ -204,6 +214,8 @@ def experiment_kwargs(name: str, args: argparse.Namespace) -> Dict:
         kwargs["replication"] = args.replication
         if args.scheme:
             kwargs["schemes"] = [args.scheme]
+    if name in TAKES_QUORUM:
+        kwargs["quorum"] = args.quorum
     return kwargs
 
 

@@ -40,7 +40,10 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+
+#: Simulated clock for converting cycle counts to seconds (config.py).
+_FREQUENCY_HZ = 2.5e9
 
 #: Serving-tier write mixes benched for ``mixed_requests_per_sec``:
 #: label -> per-tenant write ratio (95/5 means 5% writes).
@@ -221,6 +224,33 @@ def bench_mixed(requests: int = 800) -> Dict[str, float]:
     return rates
 
 
+def bench_recovery(requests: int = 200, nodes: int = 4) -> Dict[str, float]:
+    """Durability metrics off one recovery-chaos run (simulated time).
+
+    Unlike the throughput benches these are *simulated*-time numbers —
+    deterministic per seed, independent of host speed — so they are
+    informational (reported, never gated by :func:`compare`):
+
+    * ``recovery_seconds`` — worst kill→caught-up span across the
+      schedule's two node kills, in simulated seconds at 2.5 GHz;
+    * ``replication_lag_p99`` — p99 commit→replica-apply lag over every
+      shipped record, in simulated seconds.
+    """
+    from ..faults.chaos import run_recovery_chaos
+
+    report = run_recovery_chaos(
+        "cha-tlb", seed=7, requests=requests, nodes=nodes
+    )
+    fleet = report.cluster["fleet"]
+    recoveries = fleet.get("recoveries") or []
+    lag_p99 = (fleet.get("replication") or {}).get("lag_p99", 0)
+    worst = max((r["cycles"] for r in recoveries), default=0)
+    return {
+        "recovery_seconds": worst / _FREQUENCY_HZ,
+        "replication_lag_p99": lag_p99 / _FREQUENCY_HZ,
+    }
+
+
 def bench_repro_all() -> float:
     """Wall-clock seconds of a serial, uncached ``python -m repro all``."""
     from . import snapshot
@@ -258,6 +288,7 @@ def run_bench(quick: bool = True) -> Dict:
         "cluster_requests_per_sec": bench_cluster(),
         "writes_per_sec": bench_writes(),
         "mixed_requests_per_sec": bench_mixed(),
+        "recovery": bench_recovery(),
         "repro_all_wall_seconds": None,
     }
     if not quick:
@@ -285,9 +316,13 @@ def compare(current: Dict, baseline: Dict, threshold: float) -> Dict[str, Dict]:
     meaning in schema 2 (ROI-only, was build+run conflated), so those
     per-scheme metrics are skipped unless both payloads speak schema >= 2;
     every later schema only *added* metrics (cluster in 3, writes and
-    mixed-workload throughput in 4), which the shared-metric intersection
-    below already handles — a schema-3 baseline keeps gating engine,
-    queries, serve and cluster throughput against a schema-4 run.
+    mixed-workload throughput in 4, the informational simulated-time
+    durability block in 5), which the shared-metric intersection below
+    already handles — a schema-3 baseline keeps gating engine, queries,
+    serve and cluster throughput against a schema-5 run.  The schema-5
+    ``recovery`` block (``recovery_seconds``, ``replication_lag_p99``)
+    is deterministic simulated time, not host throughput, so it is
+    deliberately absent from :func:`_throughput_metrics` and never gated.
     """
     report: Dict[str, Dict] = {}
     cur = _throughput_metrics(current)
@@ -346,6 +381,15 @@ def perfbench_main(
         print(f"writes:  {payload['writes_per_sec']:>12,.1f} mut/sec")
         for label, rate in payload["mixed_requests_per_sec"].items():
             print(f"mixed:   {rate:>12,.1f} req/sec  [{label}]")
+        recovery = payload.get("recovery") or {}
+        if recovery:
+            print(
+                "recovery: {:>11,.1f} us kill->caught-up, "
+                "{:,.1f} us repl-lag p99 (simulated, informational)".format(
+                    recovery["recovery_seconds"] * 1e6,
+                    recovery["replication_lag_p99"] * 1e6,
+                )
+            )
         if payload["repro_all_wall_seconds"] is not None:
             print(f"repro all: {payload['repro_all_wall_seconds']:.1f} s wall")
 

@@ -9,7 +9,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from ..faults.chaos import chaos_experiment, cluster_chaos_experiment
+from ..faults.chaos import (
+    chaos_experiment,
+    cluster_chaos_experiment,
+    recovery_chaos_experiment,
+)
 from ..serve import serve_experiment
 from .ablations import (
     batch_size_sweep,
@@ -62,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "serve": serve_experiment,
     "chaos": chaos_experiment,
     "cluster-chaos": cluster_chaos_experiment,
+    "recovery-chaos": recovery_chaos_experiment,
 }
 
 #: Experiments that accept quick/full and workload filters.
@@ -80,7 +85,9 @@ TAKES_SERVE = {"serve"}
 #: The chaos harness: serving options plus determinism repeats.
 TAKES_CHAOS = {"chaos"}
 #: The cluster chaos harness: chaos options plus fleet shape.
-TAKES_CLUSTER = {"cluster-chaos"}
+TAKES_CLUSTER = {"cluster-chaos", "recovery-chaos"}
+#: The durability harness additionally takes the write-quorum size.
+TAKES_QUORUM = {"recovery-chaos"}
 
 #: Experiments whose rows are one-per-workload: the parallel runner shards
 #: them into one task per workload and re-merges rows in canonical order, so

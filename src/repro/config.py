@@ -387,6 +387,21 @@ class ClusterConfig:
     timeout_embargo_cycles: int = 4096
     #: Per-phase availability floor asserted by ``repro cluster-chaos``.
     availability_floor: float = 0.95
+    #: Write quorum W (docs/recovery.md): a write is acknowledged to the
+    #: client only once W distinct replicas (the committing primary plus
+    #: W-1 apply-stream acks) hold it.  Must not exceed ``replication``.
+    write_quorum: int = 2
+    #: Replication retry tick: unacked commit-log suffixes are re-shipped
+    #: to lagging replicas at this interval.
+    replication_retry_cycles: int = 2048
+    #: Hinted-handoff bound: unacked records buffered per replica stream
+    #: before the stream overflows and the replica is flagged for a full
+    #: resync instead of incremental replay (docs/recovery.md).
+    handoff_limit: int = 256
+    #: Load-balancer settled-key map bound: fully replicated keys whose
+    #: last value the LB remembers for read validation; the oldest entry
+    #: is evicted once the map is full.
+    settled_key_limit: int = 4096
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:
@@ -421,6 +436,24 @@ class ClusterConfig:
         if not 0.0 <= self.availability_floor <= 1.0:
             raise ConfigurationError(
                 "cluster availability_floor must be in [0, 1]"
+            )
+        if self.write_quorum <= 0:
+            # The effective quorum is clamped to the replica group size at
+            # run time (a group can shrink below `replication` under
+            # faults), so only the lower bound is a configuration error.
+            raise ConfigurationError(
+                "cluster write_quorum must be positive; got "
+                f"{self.write_quorum}"
+            )
+        if self.replication_retry_cycles <= 0:
+            raise ConfigurationError(
+                "cluster replication_retry_cycles must be positive"
+            )
+        if self.handoff_limit <= 0:
+            raise ConfigurationError("cluster handoff_limit must be positive")
+        if self.settled_key_limit <= 0:
+            raise ConfigurationError(
+                "cluster settled_key_limit must be positive"
             )
 
 

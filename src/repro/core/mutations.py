@@ -34,6 +34,7 @@ through the accelerator's quiesce machinery — the firmware-hot-swap path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..datastructs.hashing import secondary_hash, signature_of
@@ -833,6 +834,27 @@ class SeqLock:
         return False
 
 
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed mutation, exported at commit time (the WAL hook).
+
+    ``ordinal`` is the seqlock commit ordinal: the even structure version
+    the commit was published over (``handle.commit_version`` on the
+    accelerated path, ``held - 1`` on the software path), so consecutive
+    commits differ by exactly two.  The cluster tier's commit log
+    (``serve/cluster/wal.py``) keys replication and recovery off it.
+    """
+
+    ordinal: int
+    op: int
+    key: bytes
+    value: int
+    #: MUT_* code, or None for a software miss (which still burns an
+    #: ordinal and must stay visible to keep the commit log contiguous).
+    result: Optional[int]
+    cycle: int
+
+
 class StructureMutator:
     """Adapter between one simulated structure and the mutation executor.
 
@@ -847,6 +869,11 @@ class StructureMutator:
         self.lock = SeqLock(system.space, structure.header_addr)
         #: Seqlock ordinal of the last software apply (see handle.commit_version).
         self.last_commit_version: Optional[int] = None
+        #: Commit export hook: called with a :class:`CommitRecord` for every
+        #: *published* mutation (misses burn no ordinal and export nothing).
+        #: Unset outside the cluster tier, so single-machine runs pay — and
+        #: change — nothing.
+        self.on_commit: Optional[Callable[[CommitRecord], None]] = None
 
     @property
     def header_addr(self) -> int:
@@ -877,19 +904,63 @@ class StructureMutator:
             raise DataStructureError("seqlock held by a live writer")
         self.last_commit_version = held - 1
         try:
-            return self._apply(op, key, value)
+            result = self._apply(op, key, value)
         finally:
             self.lock.release(held)
+        if self.on_commit is not None:
+            # Unlike the accelerated path, a software miss still burns an
+            # ordinal (the release publishes version + 2), so it is
+            # exported too — as a no-op commit — to keep the log contiguous.
+            self.on_commit(
+                CommitRecord(
+                    ordinal=held - 1,
+                    op=op,
+                    key=key,
+                    value=value,
+                    result=result,
+                    cycle=self.system.engine.now,
+                )
+            )
+        return result
 
-    def note_accelerated(self, op: int, result: Optional[int]) -> None:
-        """Track count changes the accelerator made behind software's back."""
+    def note_accelerated(
+        self,
+        op: int,
+        result: Optional[int],
+        *,
+        key: Optional[bytes] = None,
+        value: int = 0,
+        ordinal: Optional[int] = None,
+        cycle: int = 0,
+    ) -> None:
+        """Track count changes the accelerator made behind software's back.
+
+        When the caller passes the commit identity (``key``/``ordinal``),
+        the export hook fires for the accelerated commit exactly as
+        :meth:`software_apply` does for software ones.
+        """
         count = getattr(self.structure, "_count", None)
-        if count is None:
-            return
-        if result == MUT_INSERTED:
-            self.structure._count = count + 1
-        elif result == MUT_DELETED:
-            self.structure._count = count - 1
+        if count is not None:
+            if result == MUT_INSERTED:
+                self.structure._count = count + 1
+            elif result == MUT_DELETED:
+                self.structure._count = count - 1
+        if (
+            result is not None
+            and self.on_commit is not None
+            and key is not None
+            and ordinal is not None
+        ):
+            self.on_commit(
+                CommitRecord(
+                    ordinal=ordinal,
+                    op=op,
+                    key=key,
+                    value=value,
+                    result=result,
+                    cycle=cycle,
+                )
+            )
 
     def current(self, key: bytes) -> Optional[int]:
         """Settled value for ``key`` (oracle probe; lock-free)."""
@@ -1030,7 +1101,14 @@ class MutationExecutor:
 
         if handle.status is QueryStatus.FOUND:
             self.stats.counter("accelerated").add()
-            mutator.note_accelerated(op, handle.value)
+            mutator.note_accelerated(
+                op,
+                handle.value,
+                key=key,
+                value=value,
+                ordinal=handle.commit_version,
+                cycle=handle.commit_cycle or self.system.engine.now,
+            )
             return handle.value
         if handle.status is QueryStatus.NOT_FOUND:
             self.stats.counter("accelerated").add()

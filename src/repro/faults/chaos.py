@@ -51,6 +51,17 @@ NET_HEAL = "net-heal"
 #: A flapped node restarts this many cycles after its kill.
 FLAP_OUTAGE_CYCLES = 3_000
 
+#: Event actions (recovery chaos; mirror FaultKind.REPLICA_LAG /
+#: LOG_TRUNCATE in the fault taxonomy).
+REPLICA_LAG = "replica-lag"
+LOG_TRUNCATE = "log-truncate"
+
+#: Extra node->node delivery latency a REPLICA_LAG event injects.
+REPLICA_LAG_CYCLES = 4_096
+
+#: Post-run drain quantum while replicas converge / catch-up completes.
+RECOVERY_DRAIN_CYCLES = 8_192
+
 
 class ChaosError(ReproError):
     """The chaos contract was violated (wrong result, hang, lost event)."""
@@ -722,6 +733,7 @@ def run_cluster_chaos(
         requests=requests,
         workload=workload,
     )
+    recorder = cluster.attach_history()
     budget = cluster.requests
     events = cluster_chaos_schedule(nodes, budget)
     pending = list(events)
@@ -764,6 +776,7 @@ def run_cluster_chaos(
         fire(pending.pop(0))
         cluster.drain(2 * FLAP_OUTAGE_CYCLES)
 
+    verdict = recorder.check()
     fleet = cluster_report.fleet
     phases = cluster_report.phases
     terminal = fleet["completed"] + fleet["failed"] + fleet["giveups"]
@@ -804,6 +817,10 @@ def run_cluster_chaos(
             "timeouts": fleet["timeouts"],
             "retries": fleet["retries"],
             "membership_transitions": len(cluster_report.membership_log),
+            "history_ops": verdict.ops,
+            "history_linearizable": verdict.linearizable,
+            "history_violations": sorted(verdict.violations),
+            "history_inconclusive": len(verdict.inconclusive),
         },
     )
     if verify:
@@ -836,6 +853,11 @@ def _verify_cluster(report: ClusterChaosReport) -> None:
         )
     if any(event["fired_cycle"] is None for event in report.events):
         problems.append("cluster chaos schedule did not complete")
+    if not checks.get("history_linearizable", True):
+        problems.append(
+            "per-key history is not linearizable (keys "
+            f"{checks['history_violations']})"
+        )
     if problems:
         raise ChaosError(
             f"cluster chaos contract violated on {report.scheme}: "
@@ -933,5 +955,413 @@ def cluster_chaos_experiment(
     result.notes.append(
         f"determinism: {repeats} same-seed runs produced byte-identical "
         "cluster chaos reports"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Recovery chaos: durability of acknowledged writes under crash/recovery
+# ---------------------------------------------------------------------- #
+
+
+def recovery_chaos_schedule(
+    nodes: int, requests: int
+) -> List[ClusterChaosEvent]:
+    """The durability schedule: two crash legs over a mixed write run.
+
+    Leg one exercises incremental replay: the primary-heavy node 0 dies
+    mid-mix, a replica lags behind the apply stream, and the recovered
+    node rejoins by replaying peers' commit logs (hinted handoff).  Leg
+    two exercises gap detection: node 2 dies, its commit log is truncated
+    while it is down, and its recovery must detect the ordinal gap and
+    full-resync instead of serving a stale history.  A partition of the
+    highest node id stretches quorum waits in between.
+    """
+    if nodes < 4:
+        raise ChaosError(
+            f"recovery chaos needs at least 4 nodes, got {nodes}"
+        )
+    return [
+        ClusterChaosEvent(
+            NODE_KILL, max(1, requests * 12 // 100), nodes=[0]
+        ),
+        ClusterChaosEvent(
+            REPLICA_LAG, max(2, requests * 25 // 100), nodes=[1]
+        ),
+        ClusterChaosEvent(
+            NODE_RECOVER, max(3, requests * 40 // 100), nodes=[0]
+        ),
+        ClusterChaosEvent(
+            NET_PARTITION, max(4, requests * 55 // 100), nodes=[nodes - 1]
+        ),
+        ClusterChaosEvent(NET_HEAL, max(5, requests * 70 // 100)),
+        ClusterChaosEvent(
+            NODE_KILL, max(6, requests * 75 // 100), nodes=[2]
+        ),
+        ClusterChaosEvent(
+            LOG_TRUNCATE, max(7, requests * 82 // 100), nodes=[2]
+        ),
+        ClusterChaosEvent(
+            NODE_RECOVER, max(8, requests * 90 // 100), nodes=[2]
+        ),
+    ]
+
+
+def run_recovery_chaos(
+    scheme: str,
+    *,
+    seed: int = 7,
+    requests: int = 400,
+    nodes: int = 6,
+    replication: int = 2,
+    quorum: int = 2,
+    tenants: int = 4,
+    workload: str = "dpdk",
+    write_ratio: float = 0.5,
+    availability_floor: float = 0.9,
+    verify: bool = True,
+) -> ClusterChaosReport:
+    """One mixed-workload cluster run under the durability schedule.
+
+    The contract (docs/recovery.md): **zero lost acknowledged writes** —
+    after every node recovers and replication drains, each written key's
+    natural replicas hold one converged value, and that value is among
+    the finals some linearization of the recorded client history allows.
+    The per-key history itself must be linearizable.
+    """
+    from ..serve.cluster import SimulatedCluster
+    from dataclasses import replace as _dc_replace
+
+    cluster_config = _dc_replace(
+        _chaos_cluster_config(nodes, replication, availability_floor),
+        write_quorum=quorum,
+    )
+    cluster = SimulatedCluster(
+        scheme,
+        cluster_config=cluster_config,
+        serve_config=ServeConfig(tenants=tenants, write_ratio=write_ratio),
+        seed=seed,
+        requests=requests,
+        workload=workload,
+    )
+    recorder = cluster.attach_history()
+    budget = cluster.requests
+    events = recovery_chaos_schedule(nodes, budget)
+    pending = list(events)
+
+    def recover_when_down(victim: int) -> None:
+        # A dead node restarting before the fleet marks it DOWN would
+        # take the plain-restart path and skip catch-up; hold the restart
+        # until the failure detector has converged (probe-interval poll,
+        # deterministic).
+        from ..serve.cluster.membership import NodeState
+
+        if (
+            not cluster.nodes[victim].alive
+            and cluster.membership.state_of(victim) is not NodeState.DOWN
+        ):
+            cluster.engine.schedule(
+                cluster.config.probe_interval_cycles,
+                lambda: recover_when_down(victim),
+            )
+            return
+        cluster.recover_node(victim)
+
+    def fire(event: ClusterChaosEvent) -> None:
+        event.fired_cycle = cluster.engine.now
+        if event.action == NODE_KILL:
+            event.lost = cluster.fail_node(event.nodes[0])
+        elif event.action == NODE_RECOVER:
+            recover_when_down(event.nodes[0])
+        elif event.action == REPLICA_LAG:
+            cluster.inject_replica_lag(event.nodes[0], REPLICA_LAG_CYCLES)
+        elif event.action == NET_PARTITION:
+            cluster.partition(event.nodes)
+        elif event.action == NET_HEAL:
+            cluster.heal()
+            # The heal also lifts any standing apply-stream lag.
+            for node in range(nodes):
+                cluster.inject_replica_lag(node, 0)
+        elif event.action == LOG_TRUNCATE:
+            # Drop the dead node's entire commit log: recovery must see
+            # the ordinal gap (structure version past the log's tail).
+            event.lost = cluster.truncate_log(event.nodes[0], 1 << 30)
+        else:
+            raise ChaosError(
+                f"unknown recovery chaos action {event.action!r}"
+            )
+        label = (
+            event.action
+            if not event.nodes
+            else event.action + "-" + "-".join(map(str, event.nodes))
+        )
+        cluster.slo.begin_phase(label, cluster.engine.now)
+
+    def on_tick(cl) -> None:
+        while pending and cl.slo.terminal >= pending[0].trigger:
+            fire(pending.pop(0))
+
+    cluster_report = cluster.run(on_tick=on_tick)
+    while pending:
+        fire(pending.pop(0))
+        cluster.drain(2 * FLAP_OUTAGE_CYCLES)
+    # Let deferred restarts land, then let the recoveries catch up and
+    # every apply stream drain, before judging convergence (bounded).
+    for _ in range(16):
+        if all(node.alive for node in cluster.nodes):
+            break
+        cluster.drain(RECOVERY_DRAIN_CYCLES)
+    replication_settled = cluster.drain_replication(RECOVERY_DRAIN_CYCLES)
+
+    verdict = recorder.check()
+    written = recorder.written_keys()
+    finals = cluster.final_values(written)
+    diverged = sorted(
+        pos for pos, values in finals.items()
+        if len(set(values.values())) > 1
+    )
+    lost_acked = sorted(
+        pos
+        for pos, values in finals.items()
+        if not set(values.values())
+        <= verdict.possible_finals.get(pos, frozenset())
+    )
+    write_problems = cluster.write_audit()
+
+    fleet = cluster_report.fleet
+    phases = cluster_report.phases
+    terminal = fleet["completed"] + fleet["failed"] + fleet["giveups"]
+    replication_stats = fleet.get("replication", {})
+    from ..serve.cluster.membership import NodeState
+
+    report = ClusterChaosReport(
+        scheme=cluster.scheme,
+        seed=seed,
+        nodes=nodes,
+        replication=replication,
+        requests=budget,
+        events=[event.row() for event in events],
+        cluster={
+            "fleet": fleet,
+            "phases": phases,
+            "tenants": cluster_report.tenants,
+            "node_rows": cluster_report.node_rows,
+            "membership_log": cluster_report.membership_log,
+            "rebalances": cluster_report.rebalances,
+            "elapsed_cycles": cluster_report.elapsed_cycles,
+        },
+        checks={
+            "result_errors": fleet["result_errors"],
+            "availability": fleet["availability"],
+            "min_phase_availability": min(
+                phase["availability"] for phase in phases
+            ),
+            "availability_floor": availability_floor,
+            "terminal": terminal,
+            "budget": budget,
+            "issued_resolved": fleet["issued"]
+            == fleet["completed"] + fleet["failed"],
+            "write_quorum": quorum,
+            "replication_settled": replication_settled,
+            "history_ops": verdict.ops,
+            "history_linearizable": verdict.linearizable,
+            "history_violations": sorted(verdict.violations),
+            "history_inconclusive": len(verdict.inconclusive),
+            "written_keys": len(written),
+            "diverged_keys": diverged,
+            "lost_acked_writes": lost_acked,
+            "write_problems": write_problems,
+            "recoveries": len(cluster.recoveries),
+            "node_kills": sum(
+                1 for e in events if e.action == NODE_KILL
+            ),
+            "gaps_detected": replication_stats.get("gaps_detected", 0),
+            "resyncs": replication_stats.get("resyncs", 0),
+            "hint_overflows": replication_stats.get("hint_overflows", 0),
+            "shipped": replication_stats.get("shipped", 0),
+            "applies": replication_stats.get("applies", 0),
+            "all_nodes_up": all(
+                cluster.membership.state_of(node) is NodeState.UP
+                for node in range(nodes)
+            ),
+            "lost_inflight": fleet["lost_inflight"],
+            "timeouts": fleet["timeouts"],
+            "retries": fleet["retries"],
+        },
+    )
+    if verify:
+        _verify_recovery(report)
+    return report
+
+
+def _verify_recovery(report: ClusterChaosReport) -> None:
+    checks = report.checks
+    problems = []
+    if checks["result_errors"]:
+        problems.append(f"{checks['result_errors']} wrong results")
+    if checks["terminal"] != checks["budget"]:
+        problems.append(
+            f"{checks['budget'] - checks['terminal']} requests never "
+            "reached a terminal outcome (hang)"
+        )
+    if not checks["issued_resolved"]:
+        problems.append("issued requests unaccounted for at the LB (hang)")
+    floor = checks["availability_floor"]
+    if checks["min_phase_availability"] < floor:
+        problems.append(
+            f"phase availability {checks['min_phase_availability']:.4f} "
+            f"below the {floor:.4f} floor"
+        )
+    if checks["availability"] < floor:
+        problems.append(
+            f"aggregate availability {checks['availability']:.4f} below "
+            f"the {floor:.4f} floor"
+        )
+    if any(event["fired_cycle"] is None for event in report.events):
+        problems.append("recovery chaos schedule did not complete")
+    if not checks["replication_settled"]:
+        problems.append("replication did not settle after the drain")
+    if not checks["history_linearizable"]:
+        problems.append(
+            "per-key history is not linearizable (keys "
+            f"{checks['history_violations']})"
+        )
+    if checks["lost_acked_writes"]:
+        problems.append(
+            "acknowledged writes lost on keys "
+            f"{checks['lost_acked_writes']}"
+        )
+    if checks["diverged_keys"]:
+        problems.append(
+            f"replicas diverged on keys {checks['diverged_keys']}"
+        )
+    if checks["write_problems"]:
+        problems.append(
+            f"shadow-oracle write audit: {checks['write_problems']}"
+        )
+    if checks["recoveries"] < checks["node_kills"]:
+        problems.append(
+            f"only {checks['recoveries']} of {checks['node_kills']} "
+            "killed nodes completed catch-up"
+        )
+    if not checks["all_nodes_up"]:
+        problems.append("a node ended the run below UP")
+    if checks["gaps_detected"] < 1 or checks["resyncs"] < 1:
+        problems.append(
+            "the truncated-log leg exercised no gap detection / resync "
+            f"(gaps={checks['gaps_detected']}, "
+            f"resyncs={checks['resyncs']})"
+        )
+    if problems:
+        raise ChaosError(
+            f"recovery chaos contract violated on {report.scheme}: "
+            + "; ".join(problems)
+        )
+
+
+def recovery_chaos_experiment(
+    *,
+    schemes=None,
+    seed: int = 7,
+    requests: int = 400,
+    nodes: int = 6,
+    replication: int = 2,
+    quorum: int = 2,
+    tenants: int = 4,
+    repeats: int = 2,
+):
+    """Durability campaign: crash/recover the primary mid write mix, lag a
+    replica, truncate a commit log, and assert zero lost acknowledged
+    writes plus a linearizable per-key history, with a same-seed
+    determinism re-run."""
+    from ..analysis.report import ExperimentResult
+
+    scheme_names = [
+        IntegrationScheme.parse(s).value
+        for s in (schemes or [IntegrationScheme.CHA_TLB.value])
+    ]
+    result = ExperimentResult(
+        "recovery-chaos",
+        (
+            f"{requests} mixed read/write requests x {tenants} tenants "
+            f"over {nodes} nodes (R={replication}, W={quorum}) under 2 "
+            "node crashes + replica lag + 1 partition + 1 log truncation "
+            f"(seed {seed})"
+        ),
+        [
+            "scheme",
+            "phase",
+            "issued",
+            "completed",
+            "failed",
+            "giveups",
+            "availability",
+            "p99",
+        ],
+    )
+    for scheme in scheme_names:
+        report = run_recovery_chaos(
+            scheme,
+            seed=seed,
+            requests=requests,
+            nodes=nodes,
+            replication=replication,
+            quorum=quorum,
+            tenants=tenants,
+        )
+        for _ in range(max(0, repeats - 1)):
+            again = run_recovery_chaos(
+                scheme,
+                seed=seed,
+                requests=requests,
+                nodes=nodes,
+                replication=replication,
+                quorum=quorum,
+                tenants=tenants,
+            )
+            if again.dump() != report.dump():
+                raise ChaosError(
+                    f"recovery chaos run on {scheme} is not "
+                    "deterministic: same-seed re-run produced a "
+                    "different report"
+                )
+        for phase in report.cluster["phases"]:
+            result.add_row(
+                scheme=scheme,
+                phase=phase["name"],
+                issued=phase["issued"],
+                completed=phase["completed"],
+                failed=phase["failed"],
+                giveups=phase["giveups"],
+                availability=phase["availability"],
+                p99=phase["p99"],
+            )
+        fleet = report.cluster["fleet"]
+        result.add_row(
+            scheme=scheme,
+            phase="all",
+            issued=fleet["issued"],
+            completed=fleet["completed"],
+            failed=fleet["failed"],
+            giveups=fleet["giveups"],
+            availability=report.checks["availability"],
+            p99="",
+        )
+        result.notes.append(
+            f"{scheme}: {report.checks['history_ops']} client ops over "
+            f"{report.checks['written_keys']} written keys -- history "
+            "linearizable, 0 lost acknowledged writes, 0 diverged "
+            f"replicas; {report.checks['recoveries']} crash recoveries "
+            f"({report.checks['resyncs']} full resyncs after "
+            f"{report.checks['gaps_detected']} detected log gaps)"
+        )
+    result.notes.append(
+        "contract: every write acknowledged at quorum W survives both "
+        "crashes; recovered nodes replay peers' commit logs (or full-"
+        "resync on a truncated log) before re-entering the ring"
+    )
+    result.notes.append(
+        f"determinism: {repeats} same-seed runs produced byte-identical "
+        "recovery chaos reports"
     )
     return result

@@ -61,6 +61,12 @@ class FaultKind(str, enum.Enum):
     NODE_KILL = "node-kill"
     NODE_FLAP = "node-flap"
     NET_PARTITION = "net-partition"
+    #: Replication faults (docs/recovery.md): a replica whose apply stream
+    #: is delivered late, and a crashed node restarting with the tail of
+    #: its commit log missing (it must detect the ordinal gap and
+    #: full-resync rather than ship or serve its stale history).
+    REPLICA_LAG = "replica-lag"
+    LOG_TRUNCATE = "log-truncate"
     WRITE_ABORT = "write-abort"
     VERSION_STORM = "version-storm"
     RESIZE_STALL = "resize-stall"
@@ -87,6 +93,8 @@ CLUSTER_KINDS = frozenset(
         FaultKind.NODE_KILL,
         FaultKind.NODE_FLAP,
         FaultKind.NET_PARTITION,
+        FaultKind.REPLICA_LAG,
+        FaultKind.LOG_TRUNCATE,
     }
 )
 
@@ -137,6 +145,10 @@ EXPECTED_CODES: Dict[FaultKind, Tuple[AbortCode, ...]] = {
     FaultKind.NODE_KILL: (),
     FaultKind.NODE_FLAP: (),
     FaultKind.NET_PARTITION: (),
+    # Replication faults surface as latency (quorum waits) or a recovery
+    # resync, never as accelerator aborts.
+    FaultKind.REPLICA_LAG: (),
+    FaultKind.LOG_TRUNCATE: (),
     # Seqlock contention and resize routing both surface as
     # VERSION_CONFLICT; the software path then applies (or re-reads)
     # against settled state.
@@ -159,10 +171,13 @@ MASKABLE_KINDS = frozenset(
         FaultKind.SLICE_FAIL,
         FaultKind.SLICE_FLAP,
         FaultKind.FIRMWARE_SWAP,
-        # Replicated serving masks whole-node loss the same way.
+        # Replicated serving masks whole-node loss the same way; a lagging
+        # or truncated replica is masked by quorums and the full resync.
         FaultKind.NODE_KILL,
         FaultKind.NODE_FLAP,
         FaultKind.NET_PARTITION,
+        FaultKind.REPLICA_LAG,
+        FaultKind.LOG_TRUNCATE,
         # A read threading the gap between two version bumps completes
         # untouched, as does one that lands entirely old-or-new during a
         # stalled resize.

@@ -39,6 +39,7 @@ from ..loadgen import ClosedLoopGenerator
 from .lb import FleetSlo, LoadBalancer
 from .membership import Membership, NodeState, Prober
 from .node import ClusterNode
+from .recovery import ReplicationManager
 from .ring import HashRing, key_position
 
 #: Cores per cluster node — smaller than the single-machine serving tier so
@@ -160,6 +161,13 @@ class SimulatedCluster:
             key_position(repr(query).encode("ascii"))
             for query in built0.queries
         ]
+        #: True when any tenant issues mutations: the replication /
+        #: durability machinery below only exists for such runs, so
+        #: read-only runs keep byte-identical reports and event streams.
+        self._writes_enabled = any(
+            self.serve_config.write_ratio_of(tenant) > 0
+            for tenant in range(self.serve_config.tenants)
+        )
 
         # --- control plane ---------------------------------------------- #
         self.ring = HashRing(self.config.nodes, self.config.vnodes)
@@ -172,6 +180,46 @@ class SimulatedCluster:
         )
         #: LB<->node link health (False while partitioned away).
         self._link_ok = [True] * self.config.nodes
+        #: Extra node->node delivery latency per destination (the
+        #: REPLICA_LAG fault surface; zero outside fault campaigns).
+        self._apply_lag = [0] * self.config.nodes
+
+        # --- durability tier (mixed runs only; docs/recovery.md) -------- #
+        self.managers: List[ReplicationManager] = []
+        self._recovery_started: Dict[int, int] = {}
+        self._killed_at: Dict[int, int] = {}
+        #: Completed recoveries: (node, killed->caught-up cycles).
+        self.recoveries: List[Dict[str, int]] = []
+        self._repl_lag: Optional[PercentileSketch] = None
+        if self._writes_enabled:
+            self._repl_lag = PercentileSketch("cluster.replication.lag")
+            #: Structure key bytes -> ring position, for mapping a commit
+            #: back to its shard (first query index wins; identical queries
+            #: share a position by construction).
+            self._pos_of_key: Dict[bytes, int] = {}
+            self._key_of_pos: Dict[int, bytes] = {}
+            for index, pos in enumerate(self._key_positions):
+                key = built0.key_for(index)
+                self._pos_of_key.setdefault(key, pos)
+                self._key_of_pos.setdefault(pos, key)
+            for node in self.nodes:
+                manager = ReplicationManager(
+                    node,
+                    self.config,
+                    send=lambda dst, thunk, src=node.node_id: (
+                        self._node_send(src, dst, thunk)
+                    ),
+                    notify_lb=self._notify_lb,
+                    replica_group=self._replica_group,
+                    peer_state=self.membership.state_of,
+                    pos_of_key=self._pos_of_key,
+                    on_caught_up=self._on_caught_up,
+                    on_lag=self._repl_lag.record,
+                )
+                node.enable_replication(
+                    manager, lambda n: self.managers[n]
+                )
+                self.managers.append(manager)
 
         # --- client tier ------------------------------------------------- #
         self.slo = FleetSlo(self.serve_config.tenants, stats=self.stats)
@@ -227,13 +275,69 @@ class SimulatedCluster:
         key_pos: int,
         op: int = 0,
         value: int = 0,
+        epoch: int = 0,
+        serial: int = 0,
     ) -> None:
         self._deliver(
             node,
             lambda: self.nodes[node].receive(
-                token, tenant, index, key_pos, op, value
+                token, tenant, index, key_pos, op, value, epoch, serial
             ),
         )
+
+    def _node_send(
+        self, src: int, dst: int, action: Callable[[], None]
+    ) -> None:
+        """One node->node replication message (docs/recovery.md): subject
+        to both endpoints' link state, the shared link latency, and any
+        REPLICA_LAG injected on the destination."""
+        if not self._link_ok[src] or not self._link_ok[dst]:
+            self._link_drops.add()
+            return
+        def arrive() -> None:
+            if not self._link_ok[src] or not self._link_ok[dst]:
+                self._link_drops.add()
+                return
+            action()
+        self.engine.schedule(
+            self.config.link_latency_cycles + self._apply_lag[dst], arrive
+        )
+
+    def _notify_lb(
+        self,
+        origin: int,
+        key_pos: int,
+        epoch: int,
+        settled_value,
+        nodes,
+        full: bool,
+    ) -> None:
+        """A primary's replication progress report, over its LB link."""
+        self._deliver(
+            origin,
+            lambda: self.lb.on_replication_update(
+                key_pos, epoch, settled_value, nodes, full
+            ),
+        )
+
+    def _replica_group(self, key_pos: int) -> List[int]:
+        """Sloppy replica group: natural owners plus routable stand-ins.
+
+        Shipping to the *natural* owners (even DOWN ones — their records
+        wait in hint buffers) makes recovery convergence possible; shipping
+        to the *routable* owners keeps the quorum reachable while a natural
+        owner is out.
+        """
+        natural = self.ring.owners(key_pos, self.config.replication)
+        group = list(natural)
+        for node in self.ring.owners(
+            key_pos,
+            self.config.replication,
+            routable=self.membership.routable(),
+        ):
+            if node not in group:
+                group.append(node)
+        return group
 
     def _node_respond(
         self, node: int, token, kind: str, value, retry_after: int
@@ -259,12 +363,15 @@ class SimulatedCluster:
     def _membership_changed(
         self, node: int, frm: NodeState, to: NodeState
     ) -> None:
-        # Only UP/SUSPECT <-> DOWN edges change the routable set, i.e.
-        # actually remap shards; record how much of the ring moved.
-        if frm is not NodeState.DOWN and to is not NodeState.DOWN:
+        # Only edges that change the *routable* set remap shards (CATCHING_UP
+        # is as unroutable as DOWN); record how much of the ring moved.
+        routable_states = (NodeState.UP, NodeState.SUSPECT)
+        was_routable = frm in routable_states
+        now_routable = to in routable_states
+        if was_routable == now_routable:
             return
         after = self.membership.routable()
-        if to is NodeState.DOWN:
+        if not now_routable:
             before = after | {node}
         else:
             before = after - {node}
@@ -279,6 +386,10 @@ class SimulatedCluster:
                 ),
             }
         )
+        if self._writes_enabled:
+            # Settled keys may now be owned by nodes that never saw their
+            # writes: the LB re-pins those before a read can go stale.
+            self.lb.on_rebalance()
 
     # ------------------------------------------------------------------ #
     # Fault surface
@@ -288,10 +399,128 @@ class SimulatedCluster:
         """Crash a node; returns the in-flight requests it takes with it."""
         lost = self.nodes[node].fail()
         self._lost_inflight.add(lost)
+        self._killed_at.setdefault(node, self.engine.now)
         return lost
 
     def recover_node(self, node: int) -> None:
-        self.nodes[node].recover()
+        """Restart a node.
+
+        In a mixed run a node that the fleet saw go DOWN holds stale data,
+        so it rejoins as CATCHING_UP and replays its peers' commit logs
+        (docs/recovery.md); it re-enters the ring only once every peer's
+        stream has drained.  Read-only runs (and restarts the membership
+        never noticed) keep the direct rejoin: every replica is immutable
+        and identical, so there is nothing to catch up on.
+        """
+        target = self.nodes[node]
+        target.recover()
+        if (
+            self._writes_enabled
+            and self.membership.state_of(node) is NodeState.DOWN
+        ):
+            self.membership.note_catching_up(node, self.engine.now)
+            self._recovery_started[node] = self.engine.now
+            peers = [
+                peer
+                for peer in range(self.config.nodes)
+                if peer != node
+                and self.membership.state_of(peer) is not NodeState.DOWN
+            ]
+            assert target.replication is not None
+            target.replication.begin_catchup(peers)
+
+    def _on_caught_up(self, node: int) -> None:
+        """A recovered node's replay converged: re-enter the ring."""
+        self.membership.note_caught_up(node, self.engine.now)
+        self._recovery_started.pop(node, None)
+        killed = self._killed_at.pop(node, None)
+        if killed is not None:
+            self.recoveries.append(
+                {
+                    "node": node,
+                    "killed_cycle": killed,
+                    "caught_up_cycle": self.engine.now,
+                    "cycles": self.engine.now - killed,
+                }
+            )
+
+    def inject_replica_lag(self, node: int, cycles: int) -> None:
+        """Delay node->node deliveries to ``node`` (REPLICA_LAG fault)."""
+        self._apply_lag[node] = max(0, cycles)
+
+    def truncate_log(self, node: int, count: int) -> int:
+        """Drop a dead node's last ``count`` WAL records (LOG_TRUNCATE).
+
+        Returns how many records were actually lost; the node's next
+        recovery must detect the ordinal gap and full-resync instead of
+        serving (or shipping) a stale history.
+        """
+        manager = self.nodes[node].replication
+        if manager is None:
+            return 0
+        return len(manager.wal.truncate_suffix(count))
+
+    # ------------------------------------------------------------------ #
+    # Durability instrumentation (chaos harness hooks)
+    # ------------------------------------------------------------------ #
+
+    def attach_history(self):
+        """Attach (and return) a linearizability history recorder.
+
+        The LB records one invoke/ok/fail triple per client request; the
+        harness calls ``check()`` after the run.  Baseline registers come
+        from the built workload's expected lookup results (first query
+        index wins, matching the shard map).
+        """
+        from ...faults.history import HistoryRecorder
+
+        baseline: Dict[int, Optional[int]] = {}
+        for index, pos in enumerate(self._key_positions):
+            baseline.setdefault(pos, self.built.expected[index])
+        recorder = HistoryRecorder(baseline)
+        self.lb.history = recorder
+        return recorder
+
+    def drain_replication(
+        self, quantum: int = 8_192, rounds: int = 64
+    ) -> bool:
+        """Drain until catch-up finishes and apply streams are acked.
+
+        Returns True if replication settled within the budget (a DOWN
+        replica never acks, so the loop is bounded, not blocking).
+        """
+        if not self.managers:
+            return True
+        for _ in range(rounds):
+            busy = any(
+                manager._catching_up
+                or (manager.node.alive and manager._outbound)
+                for manager in self.managers
+            )
+            if not busy:
+                return True
+            self.drain(quantum)
+        return not any(m._catching_up for m in self.managers)
+
+    def final_values(self, key_positions):
+        """Each natural owner's converged register value, per key.
+
+        The zero-lost-acknowledged-writes check compares these against
+        the history checker's ``possible_finals``.
+        """
+        out: Dict[int, Dict[int, Optional[int]]] = {}
+        if not self._writes_enabled:
+            return out
+        for pos in key_positions:
+            key = self._key_of_pos.get(pos)
+            if key is None:
+                continue
+            owners = self.ring.owners(pos, self.config.replication)
+            out[pos] = {
+                node: self.nodes[node].server._mutator.current(key)
+                for node in owners
+            }
+        return out
 
     def partition(self, nodes) -> None:
         """Cut the LB<->node links for ``nodes`` (both directions)."""
@@ -327,6 +556,8 @@ class SimulatedCluster:
         start = self.engine.now
         self.slo.begin_phase("baseline", start)
         self.prober.start()
+        for manager in self.managers:
+            manager.start()
         for generator in self.generators:
             generator.start()
         steps = 0
@@ -405,6 +636,29 @@ class SimulatedCluster:
             # (and bytes) unchanged.
             fleet["writes_ok"] = self.lb.writes_ok
             fleet["write_problems"] = len(self.write_audit())
+        if self._writes_enabled:
+            fleet["pin_evictions"] = self.lb.pin_evictions
+            fleet["settled_evictions"] = self.lb.settled_evictions
+            fleet["replication"] = {
+                "shipped": sum(m.shipped for m in self.managers),
+                "applies": sum(m.applies for m in self.managers),
+                "duplicates": sum(
+                    m.apply_duplicates for m in self.managers
+                ),
+                "acks": sum(m.acks_sent for m in self.managers),
+                "hint_overflows": sum(
+                    m.hint_overflows for m in self.managers
+                ),
+                "resyncs": sum(m.resyncs for m in self.managers),
+                "gaps_detected": sum(
+                    m.gap_detected for m in self.managers
+                ),
+                "wal_records": sum(len(m.wal) for m in self.managers),
+                "lag_p99": (
+                    self._repl_lag.p99 if self._repl_lag is not None else 0
+                ),
+            }
+            fleet["recoveries"] = list(self.recoveries)
         tenants = []
         for tenant in range(self.serve_config.tenants):
             e2e = self.slo.sketch_of(tenant)
@@ -425,19 +679,24 @@ class SimulatedCluster:
         node_rows = []
         for node in self.nodes:
             slo = node.server.slo
-            node_rows.append(
-                {
-                    "node": node.node_id,
-                    "alive": node.alive,
-                    "state": self.membership.state_of(node.node_id).value,
-                    "received": node._received.value,
-                    "not_owner": node._not_owner.value,
-                    "dropped_dead": node._dropped_dead.value,
-                    "killed_inflight": node._killed_inflight.value,
-                    "admitted": sum(c.value for c in slo._admitted),
-                    "completed": sum(c.value for c in slo._completed),
-                }
-            )
+            row = {
+                "node": node.node_id,
+                "alive": node.alive,
+                "state": self.membership.state_of(node.node_id).value,
+                "received": node._received.value,
+                "not_owner": node._not_owner.value,
+                "dropped_dead": node._dropped_dead.value,
+                "killed_inflight": node._killed_inflight.value,
+                "admitted": sum(c.value for c in slo._admitted),
+                "completed": sum(c.value for c in slo._completed),
+            }
+            if self._writes_enabled and node.replication is not None:
+                manager = node.replication
+                row["wal_records"] = len(manager.wal)
+                row["applies"] = manager.applies
+                row["shipped"] = manager.shipped
+                row["resyncs"] = manager.resyncs
+            node_rows.append(row)
         return ClusterReport(
             scheme=self.scheme,
             seed=self.seed,

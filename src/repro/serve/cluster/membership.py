@@ -27,6 +27,10 @@ class NodeState(str, enum.Enum):
     UP = "up"
     SUSPECT = "suspect"
     DOWN = "down"
+    #: A recovered node replaying peers' commit logs (docs/recovery.md):
+    #: alive and probing healthy, but *not* routable — it re-enters the
+    #: ring only when caught up, so it can never serve a stale shard.
+    CATCHING_UP = "catching-up"
 
 
 class Membership:
@@ -43,6 +47,10 @@ class Membership:
         self.stats = (stats or StatsRegistry()).scoped("cluster.membership")
         self._states = [NodeState.UP] * config.nodes
         self._missed = [0] * config.nodes
+        #: Nodes with an unfinished log replay: however their probe health
+        #: moves, they can rise no higher than CATCHING_UP until the
+        #: recovery layer calls :meth:`note_caught_up`.
+        self._replaying: Set[int] = set()
         #: Deterministic transition log: one row per state change.
         self.log: List[Dict[str, object]] = []
         self._on_change = on_change
@@ -54,11 +62,11 @@ class Membership:
         return self._states[node]
 
     def routable(self) -> Set[int]:
-        """Nodes the ring may own shards on (everything not DOWN)."""
+        """Nodes the ring may own shards on (not DOWN, not catching up)."""
         return {
             node
             for node, state in enumerate(self._states)
-            if state is not NodeState.DOWN
+            if state not in (NodeState.DOWN, NodeState.CATCHING_UP)
         }
 
     def up_nodes(self) -> Set[int]:
@@ -71,9 +79,21 @@ class Membership:
     # ------------------------------------------------------------------ #
 
     def note_ack(self, node: int, now: int) -> None:
-        """A heartbeat ack: reset suspicion, walk the node back to UP."""
+        """A heartbeat ack: reset suspicion, walk the node back to UP.
+
+        A catching-up node stays CATCHING_UP however healthy its probes
+        look — only :meth:`note_caught_up` (the replay finishing) promotes
+        it, so a fast prober can never route traffic to a stale replica.
+        """
         self._missed[node] = 0
-        if self._states[node] is not NodeState.UP:
+        state = self._states[node]
+        if node in self._replaying:
+            # A partition mid-replay may have walked the node DOWN; healthy
+            # probes bring it back to CATCHING_UP, never further.
+            if state is not NodeState.CATCHING_UP:
+                self._transition(node, NodeState.CATCHING_UP, now)
+            return
+        if state is not NodeState.UP:
             self._transition(node, NodeState.UP, now)
 
     def note_miss(self, node: int, now: int) -> None:
@@ -84,10 +104,24 @@ class Membership:
         if state is NodeState.UP and missed >= self.config.suspect_after:
             self._transition(node, NodeState.SUSPECT, now)
         elif (
-            self._states[node] is NodeState.SUSPECT
+            state in (NodeState.SUSPECT, NodeState.CATCHING_UP)
             and missed >= self.config.down_after
         ):
             self._transition(node, NodeState.DOWN, now)
+
+    def note_catching_up(self, node: int, now: int) -> None:
+        """A recovered node announced log replay (docs/recovery.md)."""
+        self._missed[node] = 0
+        self._replaying.add(node)
+        if self._states[node] is not NodeState.CATCHING_UP:
+            self._transition(node, NodeState.CATCHING_UP, now)
+
+    def note_caught_up(self, node: int, now: int) -> None:
+        """Replay converged: the node re-enters the ring."""
+        self._replaying.discard(node)
+        if self._states[node] is NodeState.CATCHING_UP:
+            self._missed[node] = 0
+            self._transition(node, NodeState.UP, now)
 
     def _transition(self, node: int, to: NodeState, now: int) -> None:
         frm = self._states[node]

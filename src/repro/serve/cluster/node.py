@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ...config import ServeConfig
+from ...core.cfa import OP_DELETE, OP_LOOKUP
 from ...sim.stats import StatsRegistry
 from ..frontend import ServeRequest
 from ..server import QueryServer
@@ -91,11 +92,24 @@ class ClusterNode:
         self._next_id = 0
         #: node request key -> the LB's opaque request token.
         self._tokens: Dict[int, object] = {}
+        #: node request key -> (key_position, LB write epoch, LB serial):
+        #: what the replication layer needs to defer a write's ok on its
+        #: quorum, plus the retry-stable identity for write dedup.
+        self._meta: Dict[int, Tuple[int, int, int]] = {}
+        #: LB request serial -> (commit ordinal, result): writes this node
+        #: already committed, kept so a quorum-timeout retry re-arms the
+        #: original commit instead of executing the mutation twice.
+        self._write_commits: Dict[int, Tuple[int, Optional[int]]] = {}
+        #: Durability layer (docs/recovery.md); None until the cluster
+        #: calls :meth:`enable_replication` (writes-enabled runs only).
+        self.replication = None
+        self._peers: Optional[Callable[[int], object]] = None
         stats = system.stats.scoped(f"cluster.node{node_id}")
         self._received = stats.counter("received")
         self._dropped_dead = stats.counter("dropped.dead")
         self._not_owner = stats.counter("not_owner")
         self._killed_inflight = stats.counter("killed.inflight")
+        self._write_dedup = stats.counter("write.dedup")
         for tenant in range(serve_config.tenants):
             self.server.attach(_TenantPort(self, tenant))
 
@@ -111,6 +125,8 @@ class ClusterNode:
         key_position: int,
         op: int = 0,
         value: int = 0,
+        epoch: int = 0,
+        serial: int = 0,
     ) -> None:
         """One request arriving off the LB link."""
         if not self.alive:
@@ -124,6 +140,29 @@ class ClusterNode:
                 NOT_OWNER_RETRY_CYCLES,
             )
             return
+        if (
+            self.replication is not None
+            and op != OP_LOOKUP
+            and serial in self._write_commits
+        ):
+            # The LB is retrying a write whose first attempt committed but
+            # whose quorum-deferred ok never made it back (e.g. a replica
+            # died mid-quorum).  Re-executing would apply the mutation a
+            # second time with a fresh stamp, serialized *after* — and so
+            # clobbering — writes committed since the original.  Exactly
+            # once: re-arm the quorum wait on the original commit.
+            self._write_dedup.add()
+            ordinal, result_value = self._write_commits[serial]
+            self.replication.open_wait(
+                ordinal=ordinal,
+                key_pos=key_position,
+                epoch=epoch,
+                op=op,
+                settled_value=None if op == OP_DELETE else value,
+                token=token,
+                result_value=result_value,
+            )
+            return
         self._next_id += 1
         request = ServeRequest(
             tenant=tenant,
@@ -133,7 +172,9 @@ class ClusterNode:
             op=op,
             value=value,
         )
-        self._tokens[self._key(request)] = token
+        key = self._key(request)
+        self._tokens[key] = token
+        self._meta[key] = (key_position, epoch, serial)
         self.server.accept(self.server._generators_by_tenant[tenant], request)
 
     def _key(self, request: ServeRequest) -> int:
@@ -146,7 +187,9 @@ class ClusterNode:
     def _admission_rejected(
         self, request: ServeRequest, retry_after: int
     ) -> None:
-        token = self._tokens.pop(self._key(request), None)
+        key = self._key(request)
+        token = self._tokens.pop(key, None)
+        self._meta.pop(key, None)
         if token is None or not self.alive:
             return
         # The node-level Admission verdict travels up with its retry-after
@@ -157,7 +200,9 @@ class ClusterNode:
         )
 
     def _resolved(self, request: ServeRequest) -> None:
-        token = self._tokens.pop(self._key(request), None)
+        key = self._key(request)
+        token = self._tokens.pop(key, None)
+        meta = self._meta.pop(key, None)
         if token is None or not self.alive:
             return
         kind = {
@@ -165,7 +210,57 @@ class ClusterNode:
             "failed": RESP_FAILED,
             "shed": RESP_SHED,
         }[request.outcome or "failed"]
+        if (
+            kind == RESP_OK
+            and request.commit_seq is not None
+            and self.replication is not None
+            and meta is not None
+        ):
+            # A published write: its ok is a durability promise, so it
+            # waits for the replica quorum (docs/recovery.md).  Misses
+            # (commit_seq None) changed nothing and answer immediately.
+            key_position, epoch, serial = meta
+            if serial:
+                self._write_commits[serial] = (
+                    request.commit_seq, request.result_value
+                )
+            self.replication.open_wait(
+                ordinal=request.commit_seq,
+                key_pos=key_position,
+                epoch=epoch,
+                op=request.op,
+                settled_value=(
+                    None if request.op == OP_DELETE else request.value
+                ),
+                token=token,
+                result_value=request.result_value,
+            )
+            return
         self._respond(self.node_id, token, kind, request.result_value, 0)
+
+    def quorum_respond(self, token: object, result_value: Optional[int]) -> None:
+        """Deferred write ok, released by the replication quorum."""
+        if not self.alive:
+            return
+        self._respond(self.node_id, token, RESP_OK, result_value, 0)
+
+    # ------------------------------------------------------------------ #
+    # Replication wiring (writes-enabled cluster runs only)
+    # ------------------------------------------------------------------ #
+
+    def enable_replication(self, manager, peers: Callable[[int], object]) -> None:
+        """Attach the durability layer and export structure commits to it."""
+        self.replication = manager
+        self._peers = peers
+        mutator = self.server._mutator
+        if mutator is not None:
+            manager.align_baseline(mutator.lock.read())
+            mutator.on_commit = manager.local_commit
+
+    def peer(self, node: int):
+        """The :class:`ReplicationManager` of another node (fabric hop)."""
+        assert self._peers is not None
+        return self._peers(node)
 
     # ------------------------------------------------------------------ #
     # The cluster loop's drive hooks + fault surface
@@ -212,6 +307,13 @@ class ClusterNode:
         # tokens so a response computed later (the simulation keeps running
         # the already-scheduled events) can never reach the LB.
         self._tokens.clear()
+        self._meta.clear()
+        # The dedup table is session state, not durable state: commits it
+        # points at may be rolled back during recovery (torn-WAL resync),
+        # so post-recovery retries must re-execute rather than re-arm.
+        self._write_commits.clear()
+        if self.replication is not None:
+            self.replication.on_fail()
         return lost
 
     def recover(self) -> None:

@@ -55,6 +55,10 @@ class ServeRequest:
     op: int = 0
     #: Write payload: the new value for UPDATE/INSERT (ignored for reads).
     value: int = 0
+    #: Seqlock commit ordinal of a published write, set at resolution.  The
+    #: cluster tier keys quorum acks and commit-log replication off it
+    #: (docs/recovery.md); None for reads and write misses.
+    commit_seq: Optional[int] = None
 
     @property
     def is_write(self) -> bool:

@@ -482,7 +482,14 @@ class QueryServer:
             commit_seq = handle.commit_version
             commit_cycle = handle.commit_cycle or completion
             if result is not None:
-                self._mutator.note_accelerated(request.op, result)
+                self._mutator.note_accelerated(
+                    request.op,
+                    result,
+                    key=self.workload.key_for(request.index),
+                    value=request.value,
+                    ordinal=commit_seq,
+                    cycle=commit_cycle,
+                )
             self.slo.record_completion(
                 tenant, completion - request.arrival_cycle, accelerated=True
             )
@@ -509,6 +516,8 @@ class QueryServer:
             )
         request.outcome = "ok"
         request.result_value = result
+        if result is not None:
+            request.commit_seq = commit_seq
         self._serve_stats.counter("writes.completed").add()
         if self.breaker is not None:
             self.breaker.record(tenant, accelerated, self.engine.now)

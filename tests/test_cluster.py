@@ -8,7 +8,9 @@ from repro.config import ClusterConfig, ConfigurationError, ServeConfig
 from repro.faults.chaos import (
     ChaosError,
     cluster_chaos_schedule,
+    recovery_chaos_schedule,
     run_cluster_chaos,
+    run_recovery_chaos,
 )
 from repro.faults.injector import CLUSTER_KINDS, FaultKind, MACHINE_KINDS
 from repro.serve.cluster import (
@@ -396,3 +398,69 @@ def test_cluster_chaos_ten_nodes_full_lifecycle():
         row["from"] == "down" and row["to"] == "up" for row in log
     )
     assert len(report.cluster["phases"]) == 6  # baseline + 5 events
+
+
+# --------------------------------------------------------------------- #
+# The recovery-chaos harness (docs/recovery.md)
+# --------------------------------------------------------------------- #
+
+
+def test_recovery_chaos_zero_lost_acked_writes():
+    """The ISSUE acceptance scenario: a primary killed mid 50/50 mix at
+    quorum W=2 loses zero acknowledged writes, a node recovering off a
+    truncated log detects the ordinal gap and full-resyncs, the per-key
+    history is linearizable, and the fleet ends converged and all-UP."""
+    report = run_recovery_chaos("cha-tlb", seed=7, requests=200, nodes=4)
+    checks = report.checks
+    assert checks["result_errors"] == 0
+    assert checks["terminal"] == checks["budget"] == 200
+    assert checks["history_linearizable"]
+    assert checks["history_violations"] == []
+    assert checks["lost_acked_writes"] == []
+    assert checks["diverged_keys"] == []
+    assert checks["write_problems"] == []
+    assert checks["replication_settled"]
+    assert checks["recoveries"] == checks["node_kills"] == 2
+    assert checks["gaps_detected"] >= 1  # the LOG_TRUNCATE victim
+    assert checks["resyncs"] >= 1
+    assert checks["all_nodes_up"]
+    assert checks["min_phase_availability"] >= checks["availability_floor"]
+
+
+def test_recovery_chaos_is_deterministic():
+    kwargs = dict(seed=11, requests=200, nodes=4)
+    assert (
+        run_recovery_chaos("cha-tlb", **kwargs).dump()
+        == run_recovery_chaos("cha-tlb", **kwargs).dump()
+    )
+
+
+def test_recovery_chaos_schedule_needs_a_quorum_of_nodes():
+    with pytest.raises(ChaosError):
+        recovery_chaos_schedule(3, 200)
+
+
+def test_recovery_chaos_quorum_one_loses_only_the_truncated_suffix():
+    # W=1 releases the ok on the primary's local append alone, so the
+    # log-truncation drill can destroy the only durable copy of a write
+    # before it ever ships (the crash wipes the volatile outbound queue;
+    # catch-up re-ships from the WAL, which the truncation just ate).
+    # That loss is the quorum trade-off, not a bug — the same seed and
+    # schedule at the default W=2 lose nothing (the zero-loss test above
+    # covers seed 7; seed 23 at W=2 is clean too).  What W=1 still owes:
+    # the checker *reports* every lost write (no silent loss), every
+    # stale read traces to a lost key, and the fleet converges.
+    report = run_recovery_chaos(
+        "cha-tlb", seed=23, requests=200, nodes=4, quorum=1, verify=False
+    )
+    checks = report.checks
+    assert checks["write_quorum"] == 1
+    assert checks["lost_acked_writes"] != []  # truncation really bites
+    assert set(checks["history_violations"]) <= set(
+        checks["lost_acked_writes"]
+    )
+    assert checks["diverged_keys"] == []  # replicas agree, if on the past
+    assert checks["gaps_detected"] >= 1
+    assert checks["replication_settled"]
+    assert checks["all_nodes_up"]
+    assert checks["terminal"] == checks["budget"] == 200

@@ -202,3 +202,19 @@ def test_compare_tolerates_baselines_without_cluster_metric():
     report = compare(current, baseline, threshold=0.30)
     assert "cluster_requests_per_sec" not in report
     assert not any(row["failed"] for row in report.values())
+
+
+def test_compare_never_gates_the_recovery_block():
+    # Schema 5's durability metrics are simulated time (lower is better,
+    # deterministic per seed), not host throughput: a 9-second recovery
+    # against a microsecond baseline must not trip the regression gate.
+    current = _payload(5, 1000.0, 1800.0, 2500.0)
+    current["recovery"] = {"recovery_seconds": 9.0, "replication_lag_p99": 9.0}
+    baseline = _payload(5, 1000.0, 1800.0, 2500.0)
+    baseline["recovery"] = {
+        "recovery_seconds": 1e-6,
+        "replication_lag_p99": 1e-6,
+    }
+    report = compare(current, baseline, threshold=0.30)
+    assert not any("recovery" in name for name in report)
+    assert not any(row["failed"] for row in report.values())

@@ -1,0 +1,224 @@
+"""Property-based tests on the commit log + apply-stream protocol.
+
+The durability layer's convergence argument (docs/recovery.md) leans on
+three mechanical properties of ``serve/cluster/wal.py``, pinned here over
+random logs and random delivery schedules:
+
+* **Idempotent replay** — applying the same shipment twice (or any
+  already-covered prefix) is a no-op past the watermark.
+* **Prefix convergence** — replaying a log in any prefix split reaches
+  the same state as one full replay.
+* **Delivery-order independence** — shuffled, duplicated and overlapping
+  shipments of the same records converge to the same state and the same
+  watermark.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cfa import OP_DELETE, OP_INSERT, OP_UPDATE
+from repro.serve.cluster.wal import (
+    ORDINAL_STEP,
+    CommitLog,
+    WalRecord,
+    apply_stream,
+    replay,
+)
+
+SLOW = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_OPS = (OP_INSERT, OP_UPDATE, OP_DELETE)
+
+
+def random_log(seed: int, length: int) -> list:
+    """A contiguous log: ordinals step by two from zero, random payloads."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(length):
+        op = _OPS[rng.randrange(3)]
+        records.append(
+            WalRecord(
+                ordinal=i * ORDINAL_STEP,
+                origin=0,
+                origin_ordinal=i * ORDINAL_STEP,
+                op=op,
+                key=bytes([rng.randrange(8)]) * 4,
+                value=rng.randrange(1_000_000),
+                result=None if rng.random() < 0.1 else 1,
+                commit_cycle=i * 7,
+            )
+        )
+    return records
+
+
+def materialize(records):
+    """Reference semantics: one register per key, deletes clear it."""
+    state = {}
+
+    def apply(record):
+        if record.result is None:
+            return  # a logged no-op: the commit published nothing
+        if record.op == OP_DELETE:
+            state.pop(record.key, None)
+        else:
+            state[record.key] = record.value
+    watermark = replay(records, apply)
+    return state, watermark
+
+
+@given(seed=st.integers(0, 10_000), length=st.integers(0, 60))
+@SLOW
+def test_replay_is_idempotent(seed, length):
+    records = random_log(seed, length)
+    state = {}
+
+    def apply(record):
+        if record.result is not None:
+            if record.op == OP_DELETE:
+                state.pop(record.key, None)
+            else:
+                state[record.key] = record.value
+
+    watermark = apply_stream(records, -1, apply)
+    once = dict(state)
+    # The same shipment again, against the advanced watermark: no effect.
+    again = apply_stream(records, watermark, apply)
+    assert state == once
+    assert again == watermark
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    length=st.integers(0, 60),
+    cut=st.integers(0, 60),
+)
+@SLOW
+def test_any_prefix_split_converges(seed, length, cut):
+    records = random_log(seed, length)
+    cut = min(cut, length)
+    state = {}
+
+    def apply(record):
+        if record.result is not None:
+            if record.op == OP_DELETE:
+                state.pop(record.key, None)
+            else:
+                state[record.key] = record.value
+
+    watermark = apply_stream(records[:cut], -1, apply)
+    watermark = apply_stream(records, watermark, apply)
+    expected, expected_watermark = materialize(records)
+    assert state == expected
+    assert watermark == expected_watermark
+
+
+@given(seed=st.integers(0, 10_000), length=st.integers(0, 40))
+@SLOW
+def test_shuffled_duplicated_delivery_converges(seed, length):
+    records = random_log(seed, length)
+    rng = random.Random(seed + 1)
+    # Random retransmission schedule: the sender ships cumulative unacked
+    # suffixes, so each batch re-covers some already-delivered records and
+    # extends the frontier — shuffled in flight, sometimes delivered twice.
+    batches = []
+    delivered = 0
+    while delivered < length:
+        lo = rng.randrange(delivered + 1)  # retransmit from here
+        delivered = rng.randrange(delivered, length) + 1
+        batch = records[lo:delivered]
+        rng.shuffle(batch)
+        batches.append(batch)
+        if rng.random() < 0.3:
+            batches.append(list(batch))
+    state = {}
+
+    def apply(record):
+        if record.result is not None:
+            if record.op == OP_DELETE:
+                state.pop(record.key, None)
+            else:
+                state[record.key] = record.value
+
+    watermark = -1
+    for batch in batches:
+        watermark = apply_stream(batch, watermark, apply)
+    expected, expected_watermark = materialize(records)
+    assert state == expected
+    assert watermark == expected_watermark
+
+
+@given(seed=st.integers(0, 10_000), length=st.integers(1, 60))
+@SLOW
+def test_out_of_order_append_sorts_and_stays_gapless(seed, length):
+    records = random_log(seed, length)
+    rng = random.Random(seed + 2)
+    shuffled = list(records)
+    rng.shuffle(shuffled)
+    log = CommitLog(0)
+    for record in shuffled:
+        log.append(record)
+    assert [r.ordinal for r in log.records] == [
+        i * ORDINAL_STEP for i in range(length)
+    ]
+    assert log.gaps() == ()
+    assert not log.has_gap()
+    assert log.last_ordinal == (length - 1) * ORDINAL_STEP
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    length=st.integers(2, 60),
+    hole=st.integers(0, 58),
+)
+@SLOW
+def test_missing_ordinal_is_a_detected_gap(seed, length, hole):
+    records = random_log(seed, length)
+    hole = min(hole, length - 2)  # keep the last record: gaps are interior
+    log = CommitLog(0)
+    for i, record in enumerate(records):
+        if i != hole:
+            log.append(record)
+    assert log.gaps() == (hole * ORDINAL_STEP,)
+    assert log.has_gap()
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    length=st.integers(1, 60),
+    lost=st.integers(1, 60),
+)
+@SLOW
+def test_truncated_suffix_is_caught_by_structure_version(seed, length, lost):
+    records = random_log(seed, length)
+    log = CommitLog(0)
+    for record in records:
+        log.append(record)
+    structure_version = length * ORDINAL_STEP  # the live seqlock version
+    assert not log.has_gap(structure_version=structure_version)
+    dropped = log.truncate_suffix(lost)
+    assert len(dropped) == min(lost, length)
+    # An interior log stays step-contiguous, so only the structure version
+    # can prove commits happened past the surviving suffix.
+    assert not log.gaps()
+    assert log.has_gap(structure_version=structure_version)
+
+
+def test_reset_moves_the_baseline():
+    log = CommitLog(3)
+    for record in random_log(0, 4):
+        log.append(record)
+    assert log.last_ordinal == 3 * ORDINAL_STEP
+    log.reset(10)
+    assert len(log) == 0
+    assert log.baseline_ordinal == 10
+    assert log.last_ordinal == 10 - ORDINAL_STEP
+    assert not log.has_gap(structure_version=10)
+    # A log restarted at version 10 that then misses the first commit.
+    late = random_log(0, 7)[6]
+    log.append(late)
+    assert log.gaps() == (10,)
