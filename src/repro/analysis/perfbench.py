@@ -16,7 +16,11 @@ Times the three layers the hot-path work targets and writes the numbers to
 * **writes** — simulated accelerated mutations/sec through the write-CFA
   path (seqlock acquire, in-place store, version bump; schema 4);
 * **mixed** — simulated requests/sec through the serving tier under
-  read/write service mixes (95/5 and 50/50, schema 4).
+  read/write service mixes (95/5 and 50/50, schema 4);
+* **cee** — CEE steps/sec through the ROI drain with the CFA
+  specialization layer on vs off (schema 6): bit-identity guarantees both
+  modes execute the same step count, so the pair isolates the
+  per-transition cost the compiled closures + batched ready-drain remove.
 
 ``--baseline PATH`` compares each throughput metric against a previously
 committed ``BENCH_sim.json`` and exits non-zero when any drops by more than
@@ -34,13 +38,14 @@ forward.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Simulated clock for converting cycle counts to seconds (config.py).
 _FREQUENCY_HZ = 2.5e9
@@ -224,6 +229,65 @@ def bench_mixed(requests: int = 800) -> Dict[str, float]:
     return rates
 
 
+def _specialize_mode() -> str:
+    """The ambient QEI_NO_SPECIALIZE switch, as accelerator.__init__ reads it."""
+    off = os.environ.get("QEI_NO_SPECIALIZE", "").lower() in ("1", "true", "yes")
+    return "off" if off else "on"
+
+
+def bench_cee(queries: int = 4000, burst: int = 32) -> Dict[str, float]:
+    """CEE steps/sec through a pure accelerator drain, per specialize mode.
+
+    Unlike :func:`bench_queries`, no CPU core trace runs: queries are
+    submitted straight to the accelerator in bursts and the engine drains
+    them, so the measured path is exactly what the specialization layer
+    targets — step dispatch, micro-op execution and ready-entry
+    scheduling.  Golden-stats bit-identity guarantees both modes execute
+    the *same* step count for the same queries, so steps per wall second
+    compares like for like: compiled step closures + batched ready-drain
+    (``on``) versus the generic string-keyed interpreter (``off``).  The
+    accelerator samples the switch at construction and snapshot restore
+    builds the System fresh, so toggling the environment between legs is
+    safe in-process.
+    """
+    from ..core.accelerator import QueryRequest
+    from .experiments import _build
+
+    rates: Dict[str, float] = {}
+    prior = os.environ.get("QEI_NO_SPECIALIZE")
+    try:
+        for mode, flag in (("on", "0"), ("off", "1")):
+            os.environ["QEI_NO_SPECIALIZE"] = flag
+
+            def one_round() -> float:
+                system, wl = _build("dpdk", "cha-tlb", quick=True)
+                accel = system.accelerator
+                engine = system.engine
+                addrs = wl._query_addrs
+                n = len(addrs)
+                start = time.perf_counter()
+                for base in range(0, queries, burst):
+                    for i in range(base, min(base + burst, queries)):
+                        accel.submit(
+                            QueryRequest(
+                                header_addr=wl.header_addr_for(i % n),
+                                key_addr=addrs[i % n],
+                            ),
+                            engine.now,
+                        )
+                    engine.run()
+                elapsed = time.perf_counter() - start
+                return accel._steps.value / elapsed if elapsed > 0 else 0.0
+
+            rates[mode] = _best_of(ROUNDS, one_round)
+    finally:
+        if prior is None:
+            os.environ.pop("QEI_NO_SPECIALIZE", None)
+        else:
+            os.environ["QEI_NO_SPECIALIZE"] = prior
+    return rates
+
+
 def bench_recovery(requests: int = 200, nodes: int = 4) -> Dict[str, float]:
     """Durability metrics off one recovery-chaos run (simulated time).
 
@@ -280,8 +344,10 @@ def run_bench(quick: bool = True) -> Dict:
         "schema": SCHEMA_VERSION,
         "quick": quick,
         "snapshot": snapshot.enabled(),
+        "specialize": _specialize_mode(),
         "code": code_fingerprint(),
         "engine_events_per_sec": bench_engine(),
+        "cee_steps_per_sec": bench_cee(),
         "queries_per_sec": rates,
         "setup_seconds": setups,
         "serve_requests_per_sec": bench_serve(),
@@ -299,6 +365,8 @@ def run_bench(quick: bool = True) -> Dict:
 def _throughput_metrics(payload: Dict) -> Dict[str, float]:
     """Flatten the gated (higher-is-better) metrics of a bench payload."""
     metrics = {"engine_events_per_sec": payload.get("engine_events_per_sec")}
+    for mode, rate in (payload.get("cee_steps_per_sec") or {}).items():
+        metrics[f"cee_steps_per_sec/{mode}"] = rate
     for scheme, rate in (payload.get("queries_per_sec") or {}).items():
         metrics[f"queries_per_sec/{scheme}"] = rate
     metrics["serve_requests_per_sec"] = payload.get("serve_requests_per_sec")
@@ -317,8 +385,9 @@ def compare(current: Dict, baseline: Dict, threshold: float) -> Dict[str, Dict]:
     per-scheme metrics are skipped unless both payloads speak schema >= 2;
     every later schema only *added* metrics (cluster in 3, writes and
     mixed-workload throughput in 4, the informational simulated-time
-    durability block in 5), which the shared-metric intersection below
-    already handles — a schema-3 baseline keeps gating engine, queries,
+    durability block in 5, the per-mode ``cee_steps_per_sec`` pair and
+    ``specialize`` provenance in 6), which the shared-metric intersection
+    below already handles — a schema-3 baseline keeps gating engine, queries,
     serve and cluster throughput against a schema-5 run.  The schema-5
     ``recovery`` block (``recovery_seconds``, ``replication_lag_p99``)
     is deterministic simulated time, not host throughput, so it is
@@ -371,8 +440,11 @@ def perfbench_main(
     else:
         mode = "quick" if quick else "full"
         snap = "snapshots on" if payload["snapshot"] else "snapshots off"
-        print(f"== perfbench ({mode}, {snap}) -> {output} ==")
+        spec = f"specialize {payload['specialize']}"
+        print(f"== perfbench ({mode}, {snap}, {spec}) -> {output} ==")
         print(f"engine:  {payload['engine_events_per_sec']:>12,.0f} events/sec")
+        for cee_mode, rate in payload["cee_steps_per_sec"].items():
+            print(f"cee:     {rate:>12,.0f} steps/sec  [specialize {cee_mode}]")
         for scheme, rate in payload["queries_per_sec"].items():
             setup = payload["setup_seconds"][scheme]
             print(f"queries: {rate:>12,.1f} q/sec (ROI)  setup {setup:.3f}s  [{scheme}]")

@@ -30,11 +30,32 @@ are deferred to an event at that cycle, so the completion machinery (result
 writes, QST release, queue drain, quiesce callbacks) always observes the
 correct ``engine.now``.  ``tests/test_golden_stats.py`` pins that fusion
 changes no simulated number.
+
+**CFA specialization + batched ready-drain.**  Orthogonally to fusion, each
+registered firmware program is compiled at load/hot-swap time into a flat
+step closure (:mod:`repro.core.specialize`): pre-bound constants,
+slot-indexed scratch registers, tuple micro-ops the driver
+(:meth:`QeiAccelerator._step_at_fast`) executes inline with no firmware
+probe and no dataclass allocation.  Queries with a compiled program skip
+the engine's one-event-per-wake scheduling too: their pending steps/wakes
+live in slot-indexed parallel arrays (``_rdy_*``) plus a ``(time, seq,
+slot)`` min-heap, and a single *sentinel* engine event — armed at the heap
+head's exact ``(time, seq)`` key via pre-allocated tickets
+(:meth:`~repro.sim.engine.Engine.ticket`) — drains every due entry in one
+callback.  Because each entry's ticket is taken exactly where the reference
+path would have allocated its event's sequence number, the drain executes
+steps in precisely the order the one-event-per-transition interpreter
+would, interleaved correctly against ordinary engine events
+(:meth:`~repro.sim.engine.Engine.peek_key` decides who goes first on
+same-cycle ties).  ``QEI_NO_SPECIALIZE=1`` forces the generic interpreter
+for every query, mirroring ``QEI_NO_FUSION``, and the golden-stats suite
+pins all four {fusion, specialize} mode combinations to identical output.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import os
 from collections import deque
 from dataclasses import dataclass, field
@@ -77,6 +98,19 @@ from .header import VERSION_OFFSET
 from ..datastructs.hashing import fnv1a64
 from .integration import Integration, SliceState
 from .qst import QstEntry, QueryStateTable
+from .specialize import (
+    CompiledStep,
+    K_ACTION,
+    K_ALU,
+    K_COMPARE,
+    K_DONE,
+    K_FAULT,
+    K_HASH,
+    K_MEMREAD,
+    K_MEMREAD_OPT,
+    K_WAIT,
+    compile_firmware,
+)
 
 #: Value written alongside the status flag for "not found" results.
 NOT_FOUND_SENTINEL = 0
@@ -192,7 +226,37 @@ class QeiAccelerator:
         self._fuse = os.environ.get("QEI_NO_FUSION", "").lower() not in (
             "1", "true", "yes",
         )
-        self._entry_handles: Dict[int, QueryHandle] = {}
+        #: CFA specialization switch (see module docstring and
+        #: repro/core/specialize.py).  QEI_NO_SPECIALIZE=1 forces the
+        #: generic one-event-per-transition interpreter for every query.
+        self._specialize = os.environ.get("QEI_NO_SPECIALIZE", "").lower() not in (
+            "1", "true", "yes",
+        )
+        # Compiled firmware tables, rebuilt lazily whenever firmware.epoch
+        # moves (initial load, runtime register(), hot-swap adopt()).
+        self._compiled_epoch = -1
+        self._compiled_lookup: Dict[int, CompiledStep] = {}
+        self._compiled_mut: Dict[int, CompiledStep] = {}
+        # Batched CEE ready set, SoA-style: QST-slot-indexed parallel arrays
+        # — live ticket seq (-1 when consumed), ready cycle, generation,
+        # wake-vs-step kind, and the slot's compiled step fn — plus a
+        # (time, seq, slot) min-heap.  One sentinel engine event stays armed
+        # at the heap head's exact (time, seq) key; firing it drains every
+        # due entry in a single callback (_drain_ready).
+        self._ready: List[tuple] = []
+        self._rdy_seq: List[int] = [-1] * qst_entries
+        self._rdy_time: List[int] = [0] * qst_entries
+        self._rdy_gen: List[int] = [0] * qst_entries
+        self._rdy_wake: List[bool] = [False] * qst_entries
+        self._rdy_fn: List[Optional[CompiledStep]] = [None] * qst_entries
+        self._sentinel = None
+        self._draining = False
+        # Direct slot->entry view for the drain loop (the QST owns it).
+        self._qst_entries = self.qst._entries
+        #: QST-slot-indexed handle table (dense: slot indices are small and
+        #: recycled, so a list beats a dict on every hot-path probe).
+        self._handles: List[Optional[QueryHandle]] = [None] * qst_entries
+        self._n_handles = 0
         self._steps = self.stats.counter("cee.steps")
         self._completed = self.stats.counter("queries.completed")
         self._faulted = self.stats.counter("queries.faulted")
@@ -203,6 +267,11 @@ class QeiAccelerator:
             "hash": self.stats.counter("uops.hash"),
             "alu": self.stats.counter("uops.alu"),
         }
+        # Pre-bound counter bumps for the specialized driver's hot loop.
+        self._count_mem = self._uop_counts["mem"].add
+        self._count_cmp = self._uop_counts["compare"].add
+        self._count_hash = self._uop_counts["hash"].add
+        self._count_alu = self._uop_counts["alu"].add
 
     # ------------------------------------------------------------------ #
     # Submission (driven by the QUERY instructions)
@@ -279,7 +348,7 @@ class QeiAccelerator:
     @property
     def in_flight(self) -> int:
         """Queries accepted into the QST plus overflow-queued submissions."""
-        return len(self._entry_handles) + len(self._query_queue)
+        return self._n_handles + len(self._query_queue)
 
     def _submit_fault(self, handle: QueryHandle, detail: str, code: AbortCode) -> None:
         """Abort a query that never made it past submission."""
@@ -350,8 +419,41 @@ class QeiAccelerator:
                 return  # QST full; retried on the next release
             self._query_queue.popleft()
             handle.accept_cycle = self.engine.now
-            self._entry_handles[entry.index] = handle
-            self._schedule_step(entry, self.engine.now)
+            self._handles[entry.index] = handle
+            self._n_handles += 1
+            fn = self._resolve_compiled(ctx)
+            self._rdy_fn[entry.index] = fn
+            if fn is None:
+                self._schedule_step(entry, self.engine.now)
+            else:
+                if not fn.prebound:
+                    # Specialized tier: slot-indexed registers, int states.
+                    ctx.scratch = [0] * fn.nregs  # type: ignore[assignment]
+                    ctx.state = 0  # type: ignore[assignment]
+                self._sched_fast(entry, self.engine.now)
+
+    def _resolve_compiled(self, ctx: QueryContext) -> Optional[CompiledStep]:
+        """Bind the accepted query to its compiled program, if any.
+
+        The compiled tables are rebuilt whenever ``firmware.epoch`` moved
+        (hot-swap ``adopt`` bumps it after quiescing, so in-flight queries
+        never observe a rebuild).  The type byte is peeked functionally; if
+        its page is unmapped the query runs the generic path, which faults
+        with reference timing on its first step.
+        """
+        if not self._specialize:
+            return None
+        firmware = self.firmware
+        if self._compiled_epoch != firmware.epoch:
+            self._compiled_lookup, self._compiled_mut = compile_firmware(firmware)
+            self._compiled_epoch = firmware.epoch
+        try:
+            type_code = self.space.read_u8(ctx.header_addr + 8)
+        except MemoryError_:
+            return None
+        if ctx.op == OP_LOOKUP:
+            return self._compiled_lookup.get(type_code)
+        return self._compiled_mut.get(type_code)
 
     # ------------------------------------------------------------------ #
     # CEE: one state transition per cycle for one ready entry
@@ -360,7 +462,7 @@ class QeiAccelerator:
     def _schedule_step(
         self, entry: QstEntry, earliest: int, *, inline_ok: bool = False
     ) -> None:
-        handle = self._entry_handles.get(entry.index)
+        handle = self._handles[entry.index]
         if handle is None or not entry.busy:
             return  # released (fault/flush) before this wakeup landed
         home = handle._home  # type: ignore[attr-defined]
@@ -400,7 +502,7 @@ class QeiAccelerator:
             if not entry.busy or entry.ctx is None or entry.generation != generation:
                 return  # flushed while waiting (slot possibly re-allocated)
             ctx = entry.ctx
-            handle = self._entry_handles[entry.index]
+            handle = self._handles[entry.index]
             self._steps.add()
             entry.steps += 1
             if entry.steps > self.watchdog_steps:
@@ -702,6 +804,321 @@ class QeiAccelerator:
         self.engine.schedule_at(max(ready_at, self.engine.now), wake)
 
     # ------------------------------------------------------------------ #
+    # Specialized path: batched ready-drain + compiled step driver
+    # ------------------------------------------------------------------ #
+
+    def _push_ready(self, entry: QstEntry, time: int, wake: bool) -> None:
+        """Enqueue a deferred step/wake for ``entry`` at ``time``.
+
+        The engine ticket is allocated here — exactly where the reference
+        path would have allocated its event's sequence number — so entries
+        keep the reference's relative ordering against each other and
+        against ordinary engine events.  A slot's previous ready entry (if
+        any — flush/fail can strand one) is invalidated by overwriting
+        ``_rdy_seq``; the stale heap tuple is skipped at pop, mirroring the
+        reference's no-op events for released entries.
+        """
+        index = entry.index
+        seq = self.engine.ticket()
+        self._rdy_seq[index] = seq
+        self._rdy_time[index] = time
+        self._rdy_gen[index] = entry.generation
+        self._rdy_wake[index] = wake
+        heapq.heappush(self._ready, (time, seq, index))
+        if not self._draining:
+            self._arm_sentinel()
+
+    def _arm_sentinel(self) -> None:
+        """Keep one engine event armed at the ready heap head's exact key."""
+        if not self._ready:
+            return
+        time, seq, _index = self._ready[0]
+        sentinel = self._sentinel
+        if sentinel is not None:
+            if (
+                not sentinel.cancelled
+                and sentinel.time == time
+                and sentinel.seq == seq
+            ):
+                return  # already armed at the right key
+            sentinel.cancel()
+        self._sentinel = self.engine.schedule_with_seq(time, seq, self._drain_ready)
+
+    def _drain_ready(self) -> None:
+        """Sentinel callback: run every due ready entry, SoA-batch style.
+
+        Entries are consumed in (time, seq) order while they are due
+        (``time <= engine.now``) and precede the engine's next live event;
+        the first entry that must wait — or yield to an engine event with a
+        smaller key — re-arms the sentinel at its exact key and stops.
+        Stale entries (slot released or re-armed since the push) are
+        skipped at pop, never pruned early, so the ordering the reference
+        path's no-op events would impose is preserved.
+        """
+        self._sentinel = None
+        self._draining = True
+        engine = self.engine
+        ready = self._ready
+        rdy_seq = self._rdy_seq
+        entries = self._qst_entries
+        pop = heapq.heappop
+        try:
+            while ready:
+                time, seq, index = ready[0]
+                if time > engine.now:
+                    break
+                if rdy_seq[index] != seq:
+                    pop(ready)  # stale: slot released or re-pushed since
+                    continue
+                engine_key = engine.peek_key()
+                if engine_key is not None and engine_key < (time, seq):
+                    break  # an engine event is ordered first; yield to it
+                pop(ready)
+                rdy_seq[index] = -1
+                entry = entries[index]
+                if self._rdy_wake[index]:
+                    if entry.generation == self._rdy_gen[index]:
+                        self._wake_fast(entry)
+                else:
+                    self._step_at_fast(
+                        entry, self._rdy_gen[index], time, self._rdy_fn[index]
+                    )
+        finally:
+            self._draining = False
+            self._arm_sentinel()
+
+    def _sched_fast(self, entry: QstEntry, earliest: int) -> None:
+        """Fast-path twin of :meth:`_schedule_step` (event-driven flavour)."""
+        handle = self._handles[entry.index]
+        if handle is None or not entry.busy:
+            return
+        home = handle._home  # type: ignore[attr-defined]
+        start = max(earliest, self._cee_free_at.get(home, 0), self.engine.now)
+        self._cee_free_at[home] = start + 1
+        self._push_ready(entry, start, wake=False)
+
+    def _wake_fast(self, entry: QstEntry) -> None:
+        """Fast-path twin of the wake in :meth:`_resume_after`.
+
+        Mirrors ``_schedule_step(entry, now, inline_ok=True)``: claim the
+        CEE slot, then either step inline (when fusion proves nothing can
+        interleave — the guard must also consider the remaining ready
+        entries, which the popped sentinel no longer represents in the
+        engine queue) or defer a step-kind ready entry.
+        """
+        handle = self._handles[entry.index]
+        if handle is None or not entry.busy:
+            return
+        engine = self.engine
+        home = handle._home  # type: ignore[attr-defined]
+        start = max(self._cee_free_at.get(home, 0), engine.now)
+        self._cee_free_at[home] = start + 1
+        generation = entry.generation
+        if self._fuse:
+            peek = engine.peek_time()
+            ready = self._ready
+            if ready:
+                ready_time = ready[0][0]
+                if peek is None or ready_time < peek:
+                    peek = ready_time
+            horizon = engine.run_horizon
+            if (peek is None or peek > start) and (
+                horizon is None or start <= horizon
+            ):
+                self._step_at_fast(
+                    entry, generation, start, self._rdy_fn[entry.index]
+                )
+                return
+        self._push_ready(entry, start, wake=False)
+
+    def _resume_fast(self, entry: QstEntry, ready_at: int) -> None:
+        """Fast-path twin of :meth:`_resume_after`: a wake-kind entry."""
+        self._push_ready(entry, max(ready_at, self.engine.now), wake=True)
+
+    def _step_at_fast(
+        self,
+        entry: QstEntry,
+        generation: int,
+        now: int,
+        fn: Optional[CompiledStep],
+    ) -> None:
+        """Compiled twin of :meth:`_step_at`: same fusion, inline micro-ops.
+
+        Every observable effect — substrate call arguments/order/times,
+        stats counters, fault codes and detail strings, terminal scheduling
+        — replicates the generic interpreter exactly; only the Python-level
+        interpretation overhead (firmware probe, string states, dict
+        traffic, dataclass micro-ops) is gone.
+        """
+        engine = self.engine
+        space = self.space
+        integ = self.integration
+        cee_free = self._cee_free_at
+        step_fn = fn.step  # type: ignore[union-attr]
+        steps_counter = self._steps
+        watchdog_budget = self.watchdog_steps
+        while True:
+            if not entry.busy or entry.ctx is None or entry.generation != generation:
+                return  # flushed while waiting (slot possibly re-allocated)
+            ctx = entry.ctx
+            handle = self._handles[entry.index]
+            steps_counter.add()
+            entry.steps += 1
+            if entry.steps > watchdog_budget:
+                detail = f"watchdog: exceeded {watchdog_budget} CEE steps"
+                self._run_terminal(
+                    now,
+                    lambda: self._fault(
+                        entry, handle, detail, code=AbortCode.WATCHDOG
+                    ),
+                )
+                return
+            try:
+                if ctx.header is None:
+                    # Parity with the generic driver's per-step _peek_type:
+                    # pre-PARSE steps fault when the header page vanishes.
+                    space.read_u8(ctx.header_addr + 8)
+                act = step_fn(ctx)
+            except MemoryError_ as fault:
+                detail, code = str(fault), self._memory_code(fault)
+                self._run_terminal(
+                    now, lambda: self._fault(entry, handle, detail, code=code)
+                )
+                return
+            except FirmwareError as exc:
+                detail = str(exc)
+                self._run_terminal(
+                    now,
+                    lambda: self._fault(
+                        entry, handle, detail, code=AbortCode.BAD_TYPE
+                    ),
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - firmware bugs become faults
+                detail = f"firmware error: {exc}"
+                self._run_terminal(
+                    now,
+                    lambda: self._fault(
+                        entry, handle, detail, code=AbortCode.FIRMWARE
+                    ),
+                )
+                return
+            kind = act[0]
+            waiting = False
+            if kind <= K_ALU:
+                # Timed micro-op, executed inline (the _issue_timed fast
+                # twin): counter first, then the timing-path call, then the
+                # functional read — same order, args and times as the
+                # generic path, for TLB/DPU state parity.
+                home = handle._home  # type: ignore[attr-defined]
+                try:
+                    if kind == K_MEMREAD:
+                        self._count_mem()
+                        vaddr, length, slot = act[1], act[2], act[3]
+                        latency = integ.mem_read(
+                            vaddr, length, now, home, handle.request.core_id
+                        )
+                        ctx.scratch[slot] = space.read(vaddr, length)
+                        ready_at = now + (latency if latency > 1 else 1)
+                    elif kind == K_COMPARE:
+                        self._count_cmp()
+                        mem_vaddr, length, slot = act[1], act[2], act[3]
+                        key_vaddr = ctx.key_addr
+                        latency = integ.compare(
+                            mem_vaddr, key_vaddr, length, now, home,
+                            handle.request.core_id,
+                        )
+                        stored = space.read(mem_vaddr, length)
+                        key = space.read(key_vaddr, length)
+                        ctx.scratch[slot] = (stored > key) - (stored < key)
+                        ready_at = now + (latency if latency > 1 else 1)
+                    elif kind == K_ALU:
+                        self._count_alu()
+                        ready_at = integ.alus.alu(now, act[1])
+                    elif kind == K_HASH:
+                        self._count_hash()
+                        data = ctx.scratch[act[1]]
+                        ready_at = integ.hash_unit.hash(now, len(data))
+                        ctx.scratch[act[2]] = fnv1a64(data)
+                    else:  # K_MEMREAD_OPT: speculative cacheline fetch
+                        self._count_mem()
+                        vaddr, length, slot, optional_after = (
+                            act[1], act[2], act[3], act[4],
+                        )
+                        length = self._usable_length(vaddr, length, optional_after)
+                        latency = integ.mem_read(
+                            vaddr, length, now, home, handle.request.core_id
+                        )
+                        ctx.scratch[slot] = space.read(vaddr, length)
+                        ready_at = now + (latency if latency > 1 else 1)
+                except MemoryError_ as fault:
+                    detail, code = str(fault), self._memory_code(fault)
+                    self._run_terminal(
+                        now,
+                        lambda: self._fault(entry, handle, detail, code=code),
+                    )
+                    return
+            elif kind == K_DONE:
+                if self._version_conflict(ctx):
+                    detail = "header version changed during walk"
+                    self._run_terminal(
+                        now,
+                        lambda: self._finish_fault(
+                            entry, handle, detail,
+                            code=AbortCode.VERSION_CONFLICT,
+                        ),
+                    )
+                    return
+                value = act[1]
+                self._run_terminal(
+                    now, lambda: self._finish_complete(entry, handle, value)
+                )
+                return
+            elif kind == K_FAULT:
+                detail = act[2] or "CFA fault"
+                code = AbortCode.of(act[1])
+                self._run_terminal(
+                    now,
+                    lambda: self._finish_fault(entry, handle, detail, code=code),
+                )
+                return
+            elif kind == K_WAIT:
+                ready_at = now + 1
+                waiting = True
+            else:  # K_ACTION: prebound-tier write-path/unknown micro-op
+                try:
+                    ready_at = self._issue_timed(entry, handle, act[1], now)
+                except MemoryError_ as fault:
+                    detail, code = str(fault), self._memory_code(fault)
+                    self._run_terminal(
+                        now,
+                        lambda: self._fault(entry, handle, detail, code=code),
+                    )
+                    return
+            home = handle._home  # type: ignore[attr-defined]
+            free = cee_free.get(home, 0)
+            start = ready_at if ready_at > free else free
+            if self._fuse:
+                peek = engine.peek_time()
+                ready = self._ready
+                if ready:
+                    ready_time = ready[0][0]
+                    if peek is None or ready_time < peek:
+                        peek = ready_time
+                horizon = engine.run_horizon
+                if (peek is None or peek > start) and (
+                    horizon is None or start <= horizon
+                ):
+                    cee_free[home] = start + 1
+                    now = start
+                    continue
+            if waiting:
+                self._sched_fast(entry, now + 1)
+            else:
+                self._resume_fast(entry, ready_at)
+            return
+
+    # ------------------------------------------------------------------ #
     # Completion paths
     # ------------------------------------------------------------------ #
 
@@ -762,8 +1179,13 @@ class QeiAccelerator:
         self.space.write_u64(request.result_addr + 8, value)
         return self.integration.mem_write(request.result_addr, 16, now, home, request.core_id)
 
+    def _drop_handle(self, index: int) -> None:
+        if self._handles[index] is not None:
+            self._handles[index] = None
+            self._n_handles -= 1
+
     def _release(self, entry: QstEntry, *, code: AbortCode = AbortCode.NONE) -> None:
-        self._entry_handles.pop(entry.index, None)
+        self._drop_handle(entry.index)
         self.qst.release(entry, abort_code=code)
         self._drain_queue()
         self._notify_quiesce()
@@ -784,7 +1206,7 @@ class QeiAccelerator:
         finish = now
         nb_index = 0
         for entry in list(self.qst.busy_entries()):
-            handle = self._entry_handles.get(entry.index)
+            handle = self._handles[entry.index]
             if handle is None:
                 continue
             if not entry.mode_blocking:
@@ -804,7 +1226,7 @@ class QeiAccelerator:
             status = QueryStatus.ABORTED
             handle.abort_code = AbortCode.FLUSH
             self.stats.counter("abort.flush").add()
-            self._entry_handles.pop(entry.index, None)
+            self._drop_handle(entry.index)
             self.qst.release(entry, abort_code=AbortCode.FLUSH)
             handle._finish(status, now, None)
         for queued in list(self._query_queue):
@@ -832,7 +1254,7 @@ class QeiAccelerator:
         aborted = 0
         nb_index = 0
         for entry in list(self.qst.busy_entries()):
-            handle = self._entry_handles.get(entry.index)
+            handle = self._handles[entry.index]
             if handle is None or handle._home != home:  # type: ignore[attr-defined]
                 continue
             if not entry.mode_blocking:
@@ -848,7 +1270,7 @@ class QeiAccelerator:
                 nb_index += 1
             handle.abort_code = AbortCode.SLICE_DOWN
             self.stats.counter("abort.slice_down").add()
-            self._entry_handles.pop(entry.index, None)
+            self._drop_handle(entry.index)
             self.qst.release(entry, abort_code=AbortCode.SLICE_DOWN)
             handle._finish(QueryStatus.ABORTED, now, None)
             aborted += 1
@@ -906,8 +1328,8 @@ class QeiAccelerator:
     def _quiesced(self, targets: frozenset) -> bool:
         if any(self._inbound.get(home, 0) > 0 for home in targets):
             return False
-        for handle in self._entry_handles.values():
-            if handle._home in targets:  # type: ignore[attr-defined]
+        for handle in self._handles:
+            if handle is not None and handle._home in targets:  # type: ignore[attr-defined]
                 return False
         for handle in self._query_queue:
             if handle._home in targets:  # type: ignore[attr-defined]

@@ -19,6 +19,7 @@ firmware-update path (Sec. IV-B).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -225,9 +226,22 @@ class QueryContext:
     value: Optional[int] = None
     fault_code: int = 0
     fault_detail: str = ""
+    #: scratch_u64 decode cache, keyed by tag.  Each value pairs the bytes
+    #: object it was decoded from with the decoded aligned words; programs
+    #: overwrite scratch tags by assignment (never in place), so an ``is``
+    #: check on the bytes object is a complete staleness test.
+    _u64c: Dict[str, Tuple[bytes, Tuple[int, ...]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def scratch_u64(self, tag: str, offset: int = 0) -> int:
         data = self.scratch[tag]
+        cached = self._u64c.get(tag)
+        if cached is None or cached[0] is not data:
+            words = struct.unpack_from(f"<{len(data) // 8}Q", data)
+            self._u64c[tag] = cached = (data, words)
+        if offset & 7 == 0 and offset + 8 <= len(data):
+            return cached[1][offset >> 3]
         return int.from_bytes(data[offset : offset + 8], "little")
 
 
@@ -308,6 +322,10 @@ class FirmwareImage:
         #: same structure type codes; absent entries mean writes for that
         #: type run entirely on the software path.
         self._mutators: Dict[int, CfaProgram] = {}
+        #: Bumped on every table change (register or hot-swap adopt) so the
+        #: accelerator's compiled-step table (core/specialize.py) can detect
+        #: staleness with one integer compare per query admission.
+        self.epoch = 0
 
     def register(
         self, program: CfaProgram, *, replace: bool = False, mutation: bool = False
@@ -321,6 +339,7 @@ class FirmwareImage:
                 "pass replace=True to update firmware"
             )
         table[program.TYPE_CODE] = program
+        self.epoch += 1
 
     def staged_copy(self) -> "FirmwareImage":
         """A candidate image for a live update (same programs and budget).
@@ -338,6 +357,7 @@ class FirmwareImage:
         """Atomically switch to ``staged``'s program table (hot-swap commit)."""
         self._programs = staged._programs
         self._mutators = staged._mutators
+        self.epoch += 1
 
     def program_for(self, type_code: int, *, op: int = OP_LOOKUP) -> CfaProgram:
         table = self._programs if op == OP_LOOKUP else self._mutators

@@ -30,6 +30,13 @@ Online hash-table resize rides the same lock: :class:`OnlineResizer` drains
 buckets in chunks under short seqlock critical sections while queries route
 old-vs-new per bucket (``FLAG_RESIZING``), and commits the doubled table
 through the accelerator's quiesce machinery — the firmware-hot-swap path.
+
+Mutation programs execute through the *prebound* compiled tier in
+:mod:`repro.core.specialize`: the compiler captures each program's
+``step`` and translates its :class:`StepOutcome` into the flat micro-op
+tuples the batched CEE drain consumes, so mutation semantics live only
+here.  ``tests/test_specialize_properties.py`` pins prebound-vs-generic
+agreement (including forced seqlock conflicts and mid-resize walks).
 """
 
 from __future__ import annotations

@@ -8,6 +8,13 @@ Programs never touch simulated memory directly: they see only bytes the
 engine staged into their QST scratch after :class:`~repro.core.cfa.MemRead`
 micro-ops, and comparator/hash-unit outputs in ``ctx.results``.  Pointer
 arithmetic is charged via :class:`~repro.core.cfa.AluOp` transitions.
+
+Every program in this module has a compiled twin in
+:mod:`repro.core.specialize` (matched by *exact* class, so subclasses are
+safe — they fall back to the generic interpreter via the prebound tier).
+If you change a program's step semantics here, update its specializer too;
+``tests/test_specialize_properties.py`` and the four-mode golden-stats
+grid fail loudly when the twins drift.
 """
 
 from __future__ import annotations

@@ -42,6 +42,11 @@ class MeshNoc:
         self._messages = self.stats.counter("messages")
         self._total_bytes = self.stats.counter("bytes")
         self._total_cycles = 0  # observation window length
+        #: (src, dst) -> (directed links on the XY path, zero-load latency).
+        #: Routing is a pure function of the pair on a fixed topology, so
+        #: the cache is exact; it only skips recomputing the same path
+        #: arithmetic on every message.
+        self._route_cache: Dict[Link, Tuple[Tuple[Link, ...], int]] = {}
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -78,8 +83,20 @@ class MeshNoc:
 
     def latency(self, src: int, dst: int) -> int:
         """Zero-load latency of one message."""
-        per_hop = self.config.hop_cycles + self.config.router_cycles
-        return self.hops(src, dst) * per_hop
+        return self._routed(src, dst)[1]
+
+    def _routed(self, src: int, dst: int) -> Tuple[Tuple[Link, ...], int]:
+        """Cached (path links, zero-load latency) for one (src, dst) pair."""
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            path = self.route(src, dst)
+            per_hop = self.config.hop_cycles + self.config.router_cycles
+            cached = (
+                tuple(zip(path, path[1:])),
+                self.hops(src, dst) * per_hop,
+            )
+            self._route_cache[(src, dst)] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Traffic accounting
@@ -94,14 +111,16 @@ class MeshNoc:
         """
         self._messages.add()
         self._total_bytes.add(num_bytes)
-        path = self.route(src, dst)
-        for a, b in zip(path, path[1:]):
-            self._link_bytes[(a, b)] = self._link_bytes.get((a, b), 0) + num_bytes
-        self._total_cycles = max(self._total_cycles, now)
+        links, latency = self._routed(src, dst)
+        link_bytes = self._link_bytes
+        for link in links:
+            link_bytes[link] = link_bytes.get(link, 0) + num_bytes
+        if now > self._total_cycles:
+            self._total_cycles = now
         serialization = (num_bytes + self.config.link_bytes_per_cycle - 1) // (
             self.config.link_bytes_per_cycle
         )
-        return self.latency(src, dst) + max(0, serialization - 1)
+        return latency + max(0, serialization - 1)
 
     def link_utilisations(self) -> Iterator[LinkUtilization]:
         for link, nbytes in sorted(self._link_bytes.items()):

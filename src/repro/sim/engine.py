@@ -5,8 +5,10 @@ pops events in (time, sequence) order so same-cycle events run in scheduling
 order, which keeps runs deterministic.
 
 The queue holds plain ``(time, seq, event)`` tuples: heap comparisons stop at
-``seq`` (unique per event), so the :class:`Event` object itself never gets
-compared, and events carry no ordering machinery — just ``__slots__``.
+``seq`` for live events, which carry unique sequence numbers.  Pre-allocated
+tickets (:meth:`Engine.ticket`) let the accelerator's ready-drain sentinel
+re-arm under a key an already-cancelled event still holds, so :class:`Event`
+grows a trivial ``__lt__`` for that one duplicate-key case.
 Cancelled events are skipped lazily on pop, and the queue is compacted in
 place once cancelled entries outnumber live ones (see
 :attr:`Engine.COMPACT_MIN_CANCELLED`), so long-lived simulations that cancel
@@ -24,11 +26,18 @@ from ..errors import SimulationError
 class Event:
     """One scheduled callback.
 
-    The engine orders heap entries by ``(time, seq)``; the event object is
-    payload only and never participates in comparisons.
+    The engine orders heap entries by ``(time, seq)``; ``seq`` values are
+    unique among *live* events, so the ``__lt__`` tie-break below only fires
+    when a cancelled entry shares a key with its re-armed replacement (the
+    accelerator's ready-drain sentinel re-uses pre-allocated tickets — see
+    :meth:`Engine.ticket`).  Which of the two pops first is irrelevant: at
+    most one is live, the other is skipped.
     """
 
     __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.seq < other.seq
 
     def __init__(
         self,
@@ -105,6 +114,37 @@ class Engine:
         heapq.heappush(self._queue, (time, seq, event))
         return event
 
+    def ticket(self) -> int:
+        """Allocate (and consume) a sequence number without scheduling.
+
+        A component that *may* schedule an event later — at the point in
+        scheduling order where this call happens — takes a ticket now and
+        redeems it with :meth:`schedule_with_seq`.  The accelerator's
+        batched ready-drain uses this to keep its deferred steps in exactly
+        the relative order the one-event-per-wake reference would have
+        given them.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def schedule_with_seq(
+        self, time: int, seq: int, callback: Callable[[], None]
+    ) -> Event:
+        """Schedule at ``time`` under a pre-allocated :meth:`ticket` seq.
+
+        The caller owns the ticket and must redeem it at most once per
+        armed sentinel; a cancelled event may share its (time, seq) key
+        with the re-armed one (``Event.__lt__`` keeps heapq safe).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; current time is {self._now}"
+            )
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
+
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return len(self._queue) - self._cancelled
@@ -125,6 +165,23 @@ class Engine:
                 self._cancelled -= 1
                 continue
             return time
+        return None
+
+    def peek_key(self) -> Optional[Tuple[int, int]]:
+        """The next live event's full ``(time, seq)`` ordering key.
+
+        Like :meth:`peek_time` but exposes the tie-break too, so the
+        accelerator can decide whether its ready-heap head precedes or
+        follows the engine's head within the same cycle.
+        """
+        queue = self._queue
+        while queue:
+            time, seq, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return time, seq
         return None
 
     @property

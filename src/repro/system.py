@@ -376,6 +376,12 @@ class System:
         table is adopted in one step, the drained homes return to HEALTHY,
         and ``on_complete(update)`` fires.  On an idle machine the swap
         commits before this method returns.
+
+        Adoption bumps ``FirmwareImage.epoch``, which invalidates the
+        accelerator's compiled-step table (``core/specialize.py``); the
+        next accepted query lazily recompiles the swapped-in programs.
+        Because the swap only commits after every home quiesces, no
+        in-flight query can ever straddle a table rebuild.
         """
         staged = self.firmware.staged_copy()
         for program in programs:

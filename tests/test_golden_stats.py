@@ -38,6 +38,31 @@ SERVE_CASES = [
     ("core-integrated", 2, 600, 7),
 ]
 
+#: (fusion, specialize) mode grid.  Both hot-path layers — macro-step
+#: fusion and CFA specialization with the batched ready-drain — must be
+#: independently and jointly invisible to every simulated number.
+MODES = [
+    ("on", "on"),
+    ("on", "off"),
+    ("off", "on"),
+    ("off", "off"),
+]
+
+#: Subset of PAIRS replayed across the full mode grid (one sliced scheme,
+#: one core scheme) to bound runtime; the default-mode tests above cover
+#: every pair.
+MODE_GRID_PAIRS = [
+    ("dpdk", "cha-tlb"),
+    ("rocksdb", "core-integrated"),
+]
+
+
+def _set_modes(monkeypatch, fusion: str, specialize: str) -> None:
+    # The accelerator reads both switches at construction time, so setting
+    # them before the system is built inside the measurement is sufficient.
+    monkeypatch.setenv("QEI_NO_FUSION", "0" if fusion == "on" else "1")
+    monkeypatch.setenv("QEI_NO_SPECIALIZE", "0" if specialize == "on" else "1")
+
 
 def _snapshot_hash(stats) -> str:
     payload = json.dumps(
@@ -107,6 +132,47 @@ def test_roi_pair_matches_golden(workload, scheme):
 def test_serve_report_matches_golden(scheme, tenants, requests, seed):
     golden = _load_golden()["serve"][f"{scheme}/t{tenants}/r{requests}/s{seed}"]
     assert _measure_serve(scheme, tenants, requests, seed) == golden
+
+
+@pytest.mark.parametrize("fusion,specialize", MODES)
+@pytest.mark.parametrize("workload,scheme", MODE_GRID_PAIRS)
+def test_roi_pair_matches_golden_in_all_modes(
+    workload, scheme, fusion, specialize, monkeypatch
+):
+    _set_modes(monkeypatch, fusion, specialize)
+    golden = _load_golden()["pairs"][f"{workload}/{scheme}"]
+    assert _measure_pair(workload, scheme) == golden
+
+
+def test_chaos_report_identical_across_specialize_modes(monkeypatch):
+    # The chaos run covers slice kills, recoveries and a live firmware
+    # hot-swap (which forces a compiled-table rebuild via firmware.epoch);
+    # its full report must be byte-identical with and without
+    # specialization.
+    from repro.faults.chaos import run_chaos
+
+    dumps = {}
+    for specialize in ("off", "on"):
+        _set_modes(monkeypatch, "on", specialize)
+        dumps[specialize] = run_chaos(
+            "cha-tlb", seed=7, requests=160, tenants=2
+        ).dump()
+    assert dumps["on"] == dumps["off"]
+
+
+def test_recovery_report_identical_across_specialize_modes(monkeypatch):
+    # Durability chaos (node crashes + commit-log recovery) under a mixed
+    # read/write load: mutation CFAs run through the prebound compiled
+    # tier, so the cluster report must match the reference byte for byte.
+    from repro.faults.chaos import run_recovery_chaos
+
+    dumps = {}
+    for specialize in ("off", "on"):
+        _set_modes(monkeypatch, "on", specialize)
+        dumps[specialize] = run_recovery_chaos(
+            "cha-tlb", seed=7, requests=120, nodes=4, tenants=2
+        ).dump()
+    assert dumps["on"] == dumps["off"]
 
 
 @pytest.mark.parametrize("workload,scheme", PAIRS)
