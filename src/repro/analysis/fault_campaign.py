@@ -76,7 +76,7 @@ class _Target:
     nb_result_base: int
     #: StructureMutator, built on first write-path fault (mutation-capable
     #: workloads only).
-    mutator: object = None
+    mutator: Optional[object] = None
     #: Online resizes committed against this target so far.  Each
     #: RESIZE_STALL fault ends in a committed doubling; unbounded doublings
     #: would dilute the fixed entry population until the injector's bounded

@@ -21,6 +21,10 @@ Times the three layers the hot-path work targets and writes the numbers to
   specialization layer on vs off (schema 6): bit-identity guarantees both
   modes execute the same step count, so the pair isolates the
   per-transition cost the compiled closures + batched ready-drain remove.
+* **mem** — memory-hierarchy accesses/sec and warm_lines lines/sec with
+  the epoch-memoized fast path on vs off (schema 7): a hot line-reuse
+  stream through :class:`~repro.mem.hierarchy.MemoryHierarchy`, so the
+  pair isolates what the memo layer saves per timed access.
 
 ``--baseline PATH`` compares each throughput metric against a previously
 committed ``BENCH_sim.json`` and exits non-zero when any drops by more than
@@ -45,7 +49,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Simulated clock for converting cycle counts to seconds (config.py).
 _FREQUENCY_HZ = 2.5e9
@@ -235,6 +239,12 @@ def _specialize_mode() -> str:
     return "off" if off else "on"
 
 
+def _fastmem_mode() -> str:
+    """The ambient QEI_NO_FASTMEM switch, as mem.fastpath.enabled() reads it."""
+    off = os.environ.get("QEI_NO_FASTMEM", "").lower() in ("1", "true", "yes")
+    return "off" if off else "on"
+
+
 def bench_cee(queries: int = 4000, burst: int = 32) -> Dict[str, float]:
     """CEE steps/sec through a pure accelerator drain, per specialize mode.
 
@@ -285,6 +295,65 @@ def bench_cee(queries: int = 4000, burst: int = 32) -> Dict[str, float]:
             os.environ.pop("QEI_NO_SPECIALIZE", None)
         else:
             os.environ["QEI_NO_SPECIALIZE"] = prior
+    return rates
+
+
+def bench_mem(
+    accesses: int = 50_000, lines: int = 64, warm_sweeps: int = 40
+) -> Dict[str, Dict[str, float]]:
+    """Hierarchy accesses/sec and warm_lines lines/sec, memo on vs off.
+
+    A hot stream — ``lines`` distinct cache lines revisited round-robin per
+    core, small enough to live in L1 — drives the end-to-end timed path
+    (``access_from_core``: TLB walk skipped, L1/L2/LLC probe, stats).
+    After the first sweep every access is an L1 hit, which is exactly the
+    outcome the epoch memo replays, so the on/off pair isolates the memo
+    layer's saving per access.  The warm leg times
+    :meth:`~repro.mem.hierarchy.MemoryHierarchy.warm_lines` re-sweeping an
+    already-resident line set, the dominant cost of snapshot-free system
+    builds.  Both modes force the construction switch explicitly
+    (``fastmem=True/False``), so the bench is independent of the ambient
+    ``QEI_NO_FASTMEM`` environment.
+    """
+    from ..config import SystemConfig
+    from ..mem.hierarchy import MemoryHierarchy
+    from ..noc.mesh import MeshNoc
+
+    config = SystemConfig()
+    ncores = config.num_cores
+    stream = [
+        ((i // lines) % ncores, (i % lines) * 64)
+        for i in range(accesses)
+    ]
+    warm_paddrs = [line * 64 for line in range(lines)]
+    rates: Dict[str, Dict[str, float]] = {"access": {}, "warm": {}}
+    for mode, fastmem in (("on", True), ("off", False)):
+
+        def one_access_round(fastmem: bool = fastmem) -> float:
+            hierarchy = MemoryHierarchy(
+                config, noc=MeshNoc(config.noc), fastmem=fastmem
+            )
+            access = hierarchy.access_from_core
+            start = time.perf_counter()
+            for core, paddr in stream:
+                access(core, paddr)
+            elapsed = time.perf_counter() - start
+            return accesses / elapsed if elapsed > 0 else 0.0
+
+        def one_warm_round(fastmem: bool = fastmem) -> float:
+            hierarchy = MemoryHierarchy(
+                config, noc=MeshNoc(config.noc), fastmem=fastmem
+            )
+            hierarchy.warm_lines(0, warm_paddrs)  # first sweep: fills
+            start = time.perf_counter()
+            for _ in range(warm_sweeps):
+                hierarchy.warm_lines(0, warm_paddrs)
+            elapsed = time.perf_counter() - start
+            total = warm_sweeps * len(warm_paddrs)
+            return total / elapsed if elapsed > 0 else 0.0
+
+        rates["access"][mode] = _best_of(ROUNDS, one_access_round)
+        rates["warm"][mode] = _best_of(ROUNDS, one_warm_round)
     return rates
 
 
@@ -345,9 +414,11 @@ def run_bench(quick: bool = True) -> Dict:
         "quick": quick,
         "snapshot": snapshot.enabled(),
         "specialize": _specialize_mode(),
+        "fastmem": _fastmem_mode(),
         "code": code_fingerprint(),
         "engine_events_per_sec": bench_engine(),
         "cee_steps_per_sec": bench_cee(),
+        "mem": bench_mem(),
         "queries_per_sec": rates,
         "setup_seconds": setups,
         "serve_requests_per_sec": bench_serve(),
@@ -367,6 +438,11 @@ def _throughput_metrics(payload: Dict) -> Dict[str, float]:
     metrics = {"engine_events_per_sec": payload.get("engine_events_per_sec")}
     for mode, rate in (payload.get("cee_steps_per_sec") or {}).items():
         metrics[f"cee_steps_per_sec/{mode}"] = rate
+    mem = payload.get("mem") or {}
+    for mode, rate in (mem.get("access") or {}).items():
+        metrics[f"mem_accesses_per_sec/{mode}"] = rate
+    for mode, rate in (mem.get("warm") or {}).items():
+        metrics[f"mem_warm_lines_per_sec/{mode}"] = rate
     for scheme, rate in (payload.get("queries_per_sec") or {}).items():
         metrics[f"queries_per_sec/{scheme}"] = rate
     metrics["serve_requests_per_sec"] = payload.get("serve_requests_per_sec")
@@ -386,7 +462,8 @@ def compare(current: Dict, baseline: Dict, threshold: float) -> Dict[str, Dict]:
     every later schema only *added* metrics (cluster in 3, writes and
     mixed-workload throughput in 4, the informational simulated-time
     durability block in 5, the per-mode ``cee_steps_per_sec`` pair and
-    ``specialize`` provenance in 6), which the shared-metric intersection
+    ``specialize`` provenance in 6, the per-mode ``mem`` access/warm pairs
+    and ``fastmem`` provenance in 7), which the shared-metric intersection
     below already handles — a schema-3 baseline keeps gating engine, queries,
     serve and cluster throughput against a schema-5 run.  The schema-5
     ``recovery`` block (``recovery_seconds``, ``replication_lag_p99``)
@@ -441,10 +518,15 @@ def perfbench_main(
         mode = "quick" if quick else "full"
         snap = "snapshots on" if payload["snapshot"] else "snapshots off"
         spec = f"specialize {payload['specialize']}"
-        print(f"== perfbench ({mode}, {snap}, {spec}) -> {output} ==")
+        fast = f"fastmem {payload['fastmem']}"
+        print(f"== perfbench ({mode}, {snap}, {spec}, {fast}) -> {output} ==")
         print(f"engine:  {payload['engine_events_per_sec']:>12,.0f} events/sec")
         for cee_mode, rate in payload["cee_steps_per_sec"].items():
             print(f"cee:     {rate:>12,.0f} steps/sec  [specialize {cee_mode}]")
+        for mem_mode, rate in payload["mem"]["access"].items():
+            print(f"mem:     {rate:>12,.0f} accesses/sec  [fastmem {mem_mode}]")
+        for mem_mode, rate in payload["mem"]["warm"].items():
+            print(f"warm:    {rate:>12,.0f} lines/sec  [fastmem {mem_mode}]")
         for scheme, rate in payload["queries_per_sec"].items():
             setup = payload["setup_seconds"][scheme]
             print(f"queries: {rate:>12,.1f} q/sec (ROI)  setup {setup:.3f}s  [{scheme}]")

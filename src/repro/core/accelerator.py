@@ -1367,4 +1367,8 @@ class QeiAccelerator:
     def drain(self) -> int:
         """Run until every submitted query has completed."""
         self.engine.run()
+        # Drain boundary: fold the fast paths' batched pending counts into
+        # the registry so post-drain readers see exact counters even if
+        # they reach for Counter.value directly instead of snapshot().
+        self.stats.flush()
         return self.engine.now

@@ -309,19 +309,39 @@ class Integration:
         self, vaddr: int, length: int, now: int, home: int, core_id: int
     ) -> int:
         """Timed cacheline-granular read; returns total latency."""
-        self._mem_uops.add()
-        latency = 0
-        for _, paddr, t_cycles in self._translate_lines(
-            vaddr, length, "r", now, home, core_id
-        ):
-            latency = max(latency, t_cycles + self._line_access(paddr, now, home, core_id))
+        self._mem_uops.value += 1
+        # Single-line operands (the common case: slot words, bucket probes,
+        # short keys) skip the multi-line generator machinery entirely —
+        # one translate, one line access, identical sequencing.
+        line_vaddr = vaddr - vaddr % CACHELINE_BYTES
+        if length <= 0 or vaddr + length <= line_vaddr + CACHELINE_BYTES:
+            paddr, t_cycles = self._timed_translate(
+                line_vaddr, "r", now, home, core_id
+            )
+            latency = t_cycles + self._line_access(paddr, now, home, core_id)
+        else:
+            latency = 0
+            for _, paddr, t_cycles in self._translate_lines(
+                vaddr, length, "r", now, home, core_id
+            ):
+                latency = max(
+                    latency, t_cycles + self._line_access(paddr, now, home, core_id)
+                )
         self._mem_latency.record(latency)
         return latency
 
     def mem_write(
         self, vaddr: int, length: int, now: int, home: int, core_id: int
     ) -> int:
-        self._mem_uops.add()
+        self._mem_uops.value += 1
+        line_vaddr = vaddr - vaddr % CACHELINE_BYTES
+        if length <= 0 or vaddr + length <= line_vaddr + CACHELINE_BYTES:
+            paddr, t_cycles = self._timed_translate(
+                line_vaddr, "w", now, home, core_id
+            )
+            return t_cycles + self._line_access(
+                paddr, now, home, core_id, write=True
+            )
         latency = 0
         for _, paddr, t_cycles in self._translate_lines(
             vaddr, length, "w", now, home, core_id
@@ -351,7 +371,7 @@ class Integration:
         core_id: int,
     ) -> int:
         """Latency of comparing ``length`` bytes of memory against the key."""
-        self._cmp_uops.add()
+        self._cmp_uops.value += 1
         latency = self._compare_impl(
             stored_vaddr, key_vaddr, length, now, home, core_id
         )
@@ -422,6 +442,17 @@ class Integration:
         """Fetch operands to the accelerator and compare locally."""
         data_ready = now
         for region_vaddr in (stored_vaddr, key_vaddr):
+            line_vaddr = region_vaddr - region_vaddr % CACHELINE_BYTES
+            if length <= 0 or region_vaddr + length <= line_vaddr + CACHELINE_BYTES:
+                # Single-line operand: same sequencing as the generator,
+                # minus its per-region setup (most keys fit one line).
+                paddr, tc = self._timed_translate(
+                    line_vaddr, "r", now, home, core_id
+                )
+                ready = now + tc + self._line_access(paddr, now, home, core_id)
+                if ready > data_ready:
+                    data_ready = ready
+                continue
             for _, paddr, tc in self._translate_lines(
                 region_vaddr, length, "r", now, home, core_id
             ):

@@ -44,11 +44,26 @@ class Cache:
         # allocate-on-first-touch branch.  Plain dicts preserve insertion
         # order, so LRU is pop-and-reinsert.
         self._sets: List[Dict[int, bool]] = [{} for _ in range(self.num_sets)]
+        # Per-set generation counters for the epoch-memoized fast path
+        # (mem/fastpath.py): a set's epoch bumps whenever line *presence*
+        # changes (new-tag fill, eviction, invalidate) — never on hits or
+        # dirty-only refills — so "epoch unchanged" proves a memoized hit
+        # outcome is still exact.
+        self.set_epochs: List[int] = [0] * self.num_sets
         self.stats = (stats or StatsRegistry()).scoped(name)
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
         self._evictions = self.stats.counter("evictions")
         self._writebacks = self.stats.counter("writebacks")
+        # Hits replayed by the fast path accumulate here (a plain int) and
+        # fold into the real counter at flush; see sim/stats.py.
+        self._pending_hits = 0
+        self.stats.add_flush_hook(self._flush_pending)
+
+    def _flush_pending(self) -> None:
+        if self._pending_hits:
+            self._hits.value += self._pending_hits
+            self._pending_hits = 0
 
     # ------------------------------------------------------------------ #
 
@@ -95,22 +110,27 @@ class Cache:
             if victim_dirty:
                 self._writebacks.value += 1
         entry_set[tag] = dirty
+        self.set_epochs[index] += 1  # presence changed: new tag (± victim)
         return victim_line
 
     def invalidate(self, line_addr: Optional[int] = None) -> None:
         """Drop one line, or flush everything when ``line_addr`` is None."""
         if line_addr is None:
-            for entry_set in self._sets:
-                entry_set.clear()
+            epochs = self.set_epochs
+            for index, entry_set in enumerate(self._sets):
+                if entry_set:
+                    entry_set.clear()
+                    epochs[index] += 1
             return
         tag, index = divmod(line_addr, self.num_sets)
-        self._sets[index].pop(tag, None)
+        if self._sets[index].pop(tag, None) is not None:
+            self.set_epochs[index] += 1
 
     # ------------------------------------------------------------------ #
 
     @property
     def hits(self) -> int:
-        return self._hits.value
+        return self._hits.value + self._pending_hits
 
     @property
     def misses(self) -> int:

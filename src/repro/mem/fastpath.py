@@ -1,0 +1,236 @@
+"""Epoch-memoized fast path over the end-to-end memory access walk.
+
+After CFA fusion and specialization (PRs 4-9) the CEE drain is dominated by
+the *timing model itself*: every micro-op re-walks
+:meth:`~repro.mem.hierarchy.MemoryHierarchy.access_from_core` /
+``access_from_slice`` — L1/L2 dict probes, the NUCA slice hash, hop
+latency, per-set LRU churn and stats counter objects — even when the line
+is resident and the outcome is fully determined by unchanged cache state.
+This module memoizes that walk, exactly.
+
+Epoch contract
+--------------
+
+Every :class:`~repro.mem.cache.Cache` (and :class:`~repro.mem.tlb.Tlb`) set
+carries a generation counter, ``set_epochs[index]``, bumped only when line
+*presence* in the set changes: a new-tag fill, an eviction, an invalidate.
+Hits (LRU pop-and-reinsert) and dirty-only refills of an already-present
+tag do **not** bump it.  Therefore:
+
+    set epoch unchanged  ⇒  the memoized tag is still present  ⇒  the access
+    is still a hit at the same level with the same latency, hop count and
+    home slice.
+
+A memo record is stored only for outcomes whose slow path performs **no
+fill**: an L1 hit, an L2 hit with ``fill_l1=False`` (the QEI sits beside
+the L2, Sec. V-A), or an LLC-slice hit.  Outcomes that fill (L2 hits that
+also fill the L1, anything reaching DRAM) would bump the very epoch the
+record depends on — they self-invalidate, so caching them is pure waste —
+and DRAM latency additionally depends on ``now`` against the channel
+queues (``Dram.timing_epoch``), which no per-line record can capture.
+
+Replay then reproduces the slow path's *entire* effect:
+
+* **MRU short-circuit** — insertion-ordered dicts implement LRU by
+  pop-and-reinsert, so when the tag is already last (``next(reversed(s))``)
+  the touch is a no-op on ordering and is skipped outright; a write to a
+  clean MRU line degenerates to one existing-key store (which preserves
+  position).  Non-MRU hits replay the exact pop-and-reinsert.
+* **Batched stats** — the hit and access counters accumulate in plain ints
+  (``Cache._pending_hits``, ``FastMem._pending_accesses``) and fold into
+  the :class:`~repro.sim.stats.StatsRegistry` through flush hooks; every
+  registry read flushes first, so snapshots are bit-identical to the
+  unbatched path.
+* **Batched NoC charges** — slice hits replay their mesh crossing through
+  :meth:`MeshNoc.charge`, which accumulates per-(src, dst) counts and
+  replays the commutative per-link byte sums at flush time.
+* The frozen :class:`~repro.mem.hierarchy.AccessResult` instance itself is
+  reused — same latency, level, home and hop count by construction.
+
+``QEI_NO_FASTMEM=1`` disables the layer (mirroring ``QEI_NO_FUSION`` /
+``QEI_NO_SPECIALIZE``); the golden-stats suite proves both modes
+cycle-bit-identical, and ``tests/test_fastmem_properties.py`` drives
+memoized and un-memoized hierarchies in lockstep through random access
+streams asserting equal results and equal final state.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CACHELINE_BYTES
+from .cache import CacheLevelName
+
+_L1 = CacheLevelName.L1
+_L2 = CacheLevelName.L2
+_LLC = CacheLevelName.LLC
+
+
+def enabled(override: Optional[bool] = None) -> bool:
+    """Is the epoch-memoized fast path on?  ``QEI_NO_FASTMEM=1`` disables."""
+    if override is not None:
+        return override
+    return os.environ.get("QEI_NO_FASTMEM", "").lower() not in ("1", "true", "yes")
+
+
+class FastMem:
+    """Memo layer bound over one :class:`MemoryHierarchy` instance.
+
+    The hierarchy rebinds its public ``access_from_core`` /
+    ``access_from_slice`` / ``warm_lines`` entry points to the bound methods
+    below at construction, so the fast path costs zero extra indirection
+    and the slow path stays byte-identical when the layer is disabled.
+    """
+
+    __slots__ = (
+        "_h",
+        "_slow_core",
+        "_slow_slice",
+        "_l1",
+        "_l2",
+        "_llc",
+        "_ncores",
+        "_nslices",
+        "_core_memo",
+        "_slice_memo",
+        "_charge",
+        "_pending_accesses",
+    )
+
+    def __init__(self, hierarchy, noc=None) -> None:
+        self._h = hierarchy
+        self._slow_core = hierarchy._access_from_core_slow
+        self._slow_slice = hierarchy._access_from_slice_slow
+        self._l1 = hierarchy.l1
+        self._l2 = hierarchy.l2
+        self._llc = hierarchy.llc_slices
+        self._ncores = len(hierarchy.l1)
+        self._nslices = len(hierarchy.llc_slices)
+        # Packed-int keys (cheaper to hash than tuples):
+        #   core:  ((line * ncores + core) << 3) | write<<2 | fill_l1<<1 | fill_l2
+        #   slice: ((line * nslices + slice) << 1) | write
+        # Records: (result, set_dict, tag, epochs, set_index, epoch, cache
+        #           [, home]) — valid while epochs[set_index] == epoch.
+        self._core_memo: Dict[int, Tuple] = {}
+        self._slice_memo: Dict[int, Tuple] = {}
+        # Replayed slice hits still cross the mesh; batch the charge when
+        # the NoC supports it, else fall back to the hierarchy's hook.
+        if noc is not None:
+            self._charge = noc.charge
+        else:
+            self._charge = hierarchy._noc_charge
+        self._pending_accesses = 0
+        hierarchy.stats.add_flush_hook(self._flush_pending)
+
+    def _flush_pending(self) -> None:
+        if self._pending_accesses:
+            self._h._accesses.value += self._pending_accesses
+            self._pending_accesses = 0
+
+    # ------------------------------------------------------------------ #
+
+    def access_from_core(
+        self,
+        core_id: int,
+        paddr: int,
+        *,
+        write: bool = False,
+        now: int = 0,
+        fill_l1: bool = True,
+        fill_l2: bool = True,
+    ):
+        line = paddr // CACHELINE_BYTES
+        key = (
+            ((line * self._ncores + core_id) << 3)
+            | (bool(write) << 2)
+            | (bool(fill_l1) << 1)
+            | bool(fill_l2)
+        )
+        rec = self._core_memo.get(key)
+        if rec is not None:
+            result, sdict, tag, epochs, sidx, epoch, cache = rec
+            if epochs[sidx] == epoch:
+                if next(reversed(sdict)) == tag:
+                    if write and not sdict[tag]:
+                        sdict[tag] = True
+                else:
+                    sdict[tag] = sdict.pop(tag) or write
+                cache._pending_hits += 1
+                self._pending_accesses += 1
+                return result
+        result = self._slow_core(core_id, paddr, write, now, fill_l1, fill_l2)
+        level = result.level
+        if level is _L1:
+            cache = self._l1[core_id]
+        elif level is _L2 and not fill_l1:
+            cache = self._l2[core_id]
+        else:
+            # Everything else performed a fill (or hit DRAM): the record
+            # would self-invalidate, so don't store one.
+            return result
+        tag, sidx = divmod(line, cache.num_sets)
+        epochs = cache.set_epochs
+        self._core_memo[key] = (
+            result, cache._sets[sidx], tag, epochs, sidx, epochs[sidx], cache
+        )
+        return result
+
+    def access_from_slice(
+        self, slice_id: int, paddr: int, *, write: bool = False, now: int = 0
+    ):
+        line = paddr // CACHELINE_BYTES
+        key = ((line * self._nslices + slice_id) << 1) | bool(write)
+        rec = self._slice_memo.get(key)
+        if rec is not None:
+            result, sdict, tag, epochs, sidx, epoch, cache, home = rec
+            if epochs[sidx] == epoch:
+                charge = self._charge
+                if charge is not None:
+                    charge(slice_id, home, CACHELINE_BYTES, now)
+                if next(reversed(sdict)) == tag:
+                    if write and not sdict[tag]:
+                        sdict[tag] = True
+                else:
+                    sdict[tag] = sdict.pop(tag) or write
+                cache._pending_hits += 1
+                self._pending_accesses += 1
+                return result
+        result = self._slow_slice(slice_id, paddr, write, now)
+        if result.level is _LLC:
+            home = result.slice_id
+            cache = self._llc[home]
+            tag, sidx = divmod(line, cache.num_sets)
+            epochs = cache.set_epochs
+            self._slice_memo[key] = (
+                result, cache._sets[sidx], tag, epochs, sidx, epochs[sidx],
+                cache, home,
+            )
+        return result
+
+    def warm_lines(self, core_id: int, paddrs: List[int]) -> None:
+        """Batched warm-up: replay resident lines without per-call overhead.
+
+        Warm-system rebuilds touch the same working set repeatedly; the
+        loop probes the memo with hoisted locals and only falls into the
+        full access path for lines not yet (or no longer) resident.
+        """
+        memo = self._core_memo
+        ncores = self._ncores
+        access = self.access_from_core
+        pending = 0
+        for paddr in paddrs:
+            line = paddr // CACHELINE_BYTES
+            # write=False, fill_l1=True, fill_l2=True -> low bits 0b011.
+            key = ((line * ncores + core_id) << 3) | 0b011
+            rec = memo.get(key)
+            if rec is not None:
+                _result, sdict, tag, epochs, sidx, epoch, cache = rec
+                if epochs[sidx] == epoch:
+                    if next(reversed(sdict)) != tag:
+                        sdict[tag] = sdict.pop(tag)
+                    cache._pending_hits += 1
+                    pending += 1
+                    continue
+            access(core_id, paddr)
+        self._pending_accesses += pending

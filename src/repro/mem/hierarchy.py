@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 from ..config import CACHELINE_BYTES, LlcConfig, SystemConfig
 from ..errors import ConfigurationError
 from ..sim.stats import StatsRegistry
+from . import fastpath
 from .cache import Cache, CacheLevelName
 from .dram import Dram
 
@@ -56,6 +57,8 @@ class MemoryHierarchy:
         stats: Optional[StatsRegistry] = None,
         hop_latency: Optional[Callable[[int, int], int]] = None,
         noc_charge: Optional[Callable[[int, int, int, int], None]] = None,
+        noc=None,
+        fastmem: Optional[bool] = None,
     ) -> None:
         """Build the hierarchy.
 
@@ -63,8 +66,16 @@ class MemoryHierarchy:
             hop_latency: ``(src_node, dst_node) -> cycles`` over the mesh;
                 defaults to a Manhattan-distance estimate if no NoC is wired.
             noc_charge: optional ``(src, dst, bytes, now)`` bandwidth hook.
+            noc: a :class:`~repro.noc.mesh.MeshNoc` to wire directly —
+                supplies ``hop_latency``/``noc_charge`` defaults and lets
+                the fast path batch its send charges.
+            fastmem: force the epoch-memoized fast path on/off; ``None``
+                follows the ``QEI_NO_FASTMEM`` environment switch.
         """
         self.config = config
+        if noc is not None:
+            hop_latency = hop_latency or noc.latency
+            noc_charge = noc_charge or noc.send
         registry = stats or StatsRegistry()
         self.stats = registry.scoped("mem")
         self.l1 = [
@@ -91,6 +102,9 @@ class MemoryHierarchy:
         # line address and slice count, and workloads touch the same lines
         # millions of times.
         self._slice_memo: dict[int, int] = {}
+        # Hot-path counters bump via the approved ``counter.value += 1``
+        # form throughout this module (one attribute store, no method call);
+        # see the idiom table in sim/stats.py.
         self._accesses = self.stats.counter("accesses")
         self._dram_accesses = self.stats.counter("dram_accesses")
         #: Optional next-line prefetcher at the L2 (off by default so the
@@ -99,6 +113,16 @@ class MemoryHierarchy:
         #: also installs the next line into the L2 off the critical path.
         self.next_line_prefetch = False
         self._prefetches = self.stats.counter("prefetches")
+        #: The epoch-memoized fast path (mem/fastpath.py).  When enabled it
+        #: shadows the public access entry points with bound methods that
+        #: replay memoized hit outcomes; ``QEI_NO_FASTMEM=1`` (or
+        #: ``fastmem=False``) leaves the reference slow path untouched.
+        self._fast = None
+        if fastpath.enabled(fastmem):
+            self._fast = fastpath.FastMem(self, noc=noc)
+            self.access_from_core = self._fast.access_from_core
+            self.access_from_slice = self._fast.access_from_slice
+            self.warm_lines = self._fast.warm_lines
 
     # ------------------------------------------------------------------ #
 
@@ -138,6 +162,20 @@ class MemoryHierarchy:
         ``fill_l1=False`` models accesses that bypass the L1 (QEI sits next
         to the L2, Sec. V-A); ``fill_l2=False`` additionally skips the L2.
         """
+        return self._access_from_core_slow(
+            core_id, paddr, write, now, fill_l1, fill_l2
+        )
+
+    def _access_from_core_slow(
+        self,
+        core_id: int,
+        paddr: int,
+        write: bool,
+        now: int,
+        fill_l1: bool,
+        fill_l2: bool,
+    ) -> AccessResult:
+        """The reference walk; the fast path calls this on memo misses."""
         if not 0 <= core_id < len(self.l1):
             raise ConfigurationError(f"core_id {core_id} out of range")
         self._accesses.value += 1
@@ -165,7 +203,7 @@ class MemoryHierarchy:
             l1.fill(line, dirty=write)
         if self.next_line_prefetch and fill_l2 and not l2.probe(line + 1):
             # Off the critical path: install the next line into L2/LLC.
-            self._prefetches.add()
+            self._prefetches.value += 1
             home = self.slice_of(line + 1)
             if not self.llc_slices[home].probe(line + 1):
                 self.llc_slices[home].fill(line + 1)
@@ -181,6 +219,12 @@ class MemoryHierarchy:
         line is a different slice, the request crosses the mesh (this is rare
         for QEI because comparisons are routed to the home slice up front).
         """
+        return self._access_from_slice_slow(slice_id, paddr, write, now)
+
+    def _access_from_slice_slow(
+        self, slice_id: int, paddr: int, write: bool, now: int
+    ) -> AccessResult:
+        """The reference walk; the fast path calls this on memo misses."""
         line = paddr // CACHELINE_BYTES
         self._accesses.value += 1
         return self._access_llc(line, src_node=slice_id, write=write, now=now)
@@ -222,6 +266,11 @@ class MemoryHierarchy:
         self.dram.reset_timing()
 
     def warm_lines(self, core_id: int, paddrs: List[int]) -> None:
-        """Pre-touch lines so an ROI starts from a warmed cache state."""
+        """Pre-touch lines so an ROI starts from a warmed cache state.
+
+        With the fast path enabled this entry point is rebound to
+        :meth:`FastMem.warm_lines`, which batches the whole sweep through
+        the memo with hoisted locals (see bench_mem's warm legs).
+        """
         for paddr in paddrs:
             self.access_from_core(core_id, paddr)

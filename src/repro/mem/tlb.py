@@ -26,6 +26,11 @@ class Tlb:
         self.associativity = config.associativity
         # Insertion-ordered {vpn: pfn} per set; LRU is pop-and-reinsert.
         self._sets: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
+        # Per-set generation counters, bumped on presence changes only
+        # (new-entry insert, eviction, invalidate) — the same epoch contract
+        # as Cache.set_epochs, so fast paths can prove a memoized
+        # translation outcome is still exact (see mem/fastpath.py).
+        self.set_epochs: List[int] = [0] * self.num_sets
         self.stats = (stats or StatsRegistry()).scoped(name)
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
@@ -47,7 +52,8 @@ class Tlb:
 
     def insert(self, vpn: int, pfn: int) -> None:
         """Fill the TLB after a page walk, evicting LRU if needed."""
-        entry_set = self._sets[vpn % self.num_sets]
+        index = vpn % self.num_sets
+        entry_set = self._sets[index]
         if vpn in entry_set:
             del entry_set[vpn]
             entry_set[vpn] = pfn
@@ -56,14 +62,20 @@ class Tlb:
             del entry_set[next(iter(entry_set))]
             self._evictions.value += 1
         entry_set[vpn] = pfn
+        self.set_epochs[index] += 1  # presence changed: new VPN (± victim)
 
     def invalidate(self, vpn: Optional[int] = None) -> None:
         """Shoot down one VPN, or flush the whole TLB when ``vpn`` is None."""
         if vpn is None:
-            for entry_set in self._sets:
-                entry_set.clear()
+            epochs = self.set_epochs
+            for index, entry_set in enumerate(self._sets):
+                if entry_set:
+                    entry_set.clear()
+                    epochs[index] += 1
             return
-        self._sets[vpn % self.num_sets].pop(vpn, None)
+        index = vpn % self.num_sets
+        if self._sets[index].pop(vpn, None) is not None:
+            self.set_epochs[index] += 1
 
     @property
     def hits(self) -> int:

@@ -15,7 +15,7 @@ centralised placements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..config import NocConfig
 from ..errors import ConfigurationError
@@ -35,7 +35,7 @@ class LinkUtilization:
 class MeshNoc:
     """A width x height mesh with deterministic XY routing."""
 
-    def __init__(self, config: NocConfig, *, stats: StatsRegistry = None) -> None:
+    def __init__(self, config: NocConfig, *, stats: Optional[StatsRegistry] = None) -> None:
         self.config = config
         self._link_bytes: Dict[Link, int] = {}
         self.stats = (stats or StatsRegistry()).scoped("noc")
@@ -47,6 +47,13 @@ class MeshNoc:
         #: the cache is exact; it only skips recomputing the same path
         #: arithmetic on every message.
         self._route_cache: Dict[Link, Tuple[Tuple[Link, ...], int]] = {}
+        #: Batched send charges from the hierarchy fast path (mem/fastpath.py):
+        #: (src, dst) -> [message count, total bytes, latest `now`].  Charging
+        #: is commutative — per-link byte sums, message/byte totals and a
+        #: running max of `now` — so replaying a batch at flush time lands the
+        #: exact same state as the equivalent sequence of :meth:`send` calls.
+        self._pending_charges: Dict[Link, List[int]] = {}
+        self.stats.add_flush_hook(self._flush_charges)
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -122,18 +129,59 @@ class MeshNoc:
         )
         return latency + max(0, serialization - 1)
 
+    def charge(self, src: int, dst: int, num_bytes: int, now: int = 0) -> None:
+        """Batched :meth:`send` accounting, without computing the latency.
+
+        For callers that already know the message latency (the hierarchy
+        fast path replays a memoized latency), only the traffic accounting
+        side effects of :meth:`send` remain — and those are commutative
+        sums/maxes, so they accumulate per (src, dst) pair and replay over
+        the cached route at flush time.  Flush happens on every stats read
+        and before any utilisation query, so observers never see a deficit.
+        """
+        entry = self._pending_charges.get((src, dst))
+        if entry is None:
+            self._pending_charges[(src, dst)] = [1, num_bytes, now]
+        else:
+            entry[0] += 1
+            entry[1] += num_bytes
+            if now > entry[2]:
+                entry[2] = now
+
+    def _flush_charges(self) -> None:
+        pending = self._pending_charges
+        if not pending:
+            return
+        link_bytes = self._link_bytes
+        messages = 0
+        total_bytes = 0
+        for (src, dst), (count, nbytes, max_now) in pending.items():
+            messages += count
+            total_bytes += nbytes
+            links, _latency = self._routed(src, dst)
+            for link in links:
+                link_bytes[link] = link_bytes.get(link, 0) + nbytes
+            if max_now > self._total_cycles:
+                self._total_cycles = max_now
+        self._messages.value += messages
+        self._total_bytes.value += total_bytes
+        pending.clear()
+
     def link_utilisations(self) -> Iterator[LinkUtilization]:
+        self._flush_charges()
         for link, nbytes in sorted(self._link_bytes.items()):
             yield LinkUtilization(link, nbytes)
 
     def hotspot_factor(self, window_cycles: int) -> float:
         """Most-loaded link's utilisation over a window, in [0, 1+]."""
+        self._flush_charges()
         if window_cycles <= 0 or not self._link_bytes:
             return 0.0
         capacity = window_cycles * self.config.link_bytes_per_cycle
         return max(self._link_bytes.values()) / capacity
 
     def mean_link_utilisation(self, window_cycles: int) -> float:
+        self._flush_charges()
         if window_cycles <= 0 or not self._link_bytes:
             return 0.0
         capacity = window_cycles * self.config.link_bytes_per_cycle
@@ -143,5 +191,9 @@ class MeshNoc:
         return sum(self._link_bytes.values()) / (capacity * num_links)
 
     def reset_traffic(self) -> None:
+        # Pending charges predate the reset: fold them in first so the
+        # message/byte counters keep them (as unbatched sends would have)
+        # while the per-link window state is cleared.
+        self._flush_charges()
         self._link_bytes.clear()
         self._total_cycles = 0

@@ -18,7 +18,7 @@ frontend work and private-cache accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..config import QeiConfig
 from .cacti import logic_block, qst_macro, tlb_macro
@@ -96,7 +96,7 @@ def tab3_configurations(qei: QeiConfig = QeiConfig()) -> List[Configuration]:
 class DynamicEnergyModel:
     """Event-based per-query dynamic energy (Fig. 12)."""
 
-    energies_pj: Dict[str, float] = None
+    energies_pj: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.energies_pj is None:

@@ -234,6 +234,25 @@ class Engine:
         processed = 0
         queue = self._queue
         pop = heapq.heappop
+        if until is None and max_events is None:
+            # Unbounded drain (the accelerator's hot path): no horizon or
+            # budget to check, so pop directly instead of peek-then-pop and
+            # batch the events_processed bumps into one write-back.
+            dispatched = 0
+            try:
+                while queue:
+                    time, _seq, event = pop(queue)
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = time
+                    dispatched += 1
+                    event.callback()
+            finally:
+                self.events_processed += dispatched
+                self._running = False
+                self._horizon = None
+            return self._now
         try:
             while queue:
                 time, _seq, event = queue[0]

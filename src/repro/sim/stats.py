@@ -3,12 +3,25 @@
 Every architectural component keeps its measurements in a
 :class:`StatsRegistry` so experiment drivers can snapshot, diff, and report
 without reaching into component internals.
+
+Counter idiom (hot-path-approved forms, in order of increasing heat):
+
+* ``counter.add()`` / ``counter.add(n)`` — the readable default for cold and
+  warm paths (setup, control plane, per-query bookkeeping).
+* ``counter.value += 1`` — the hot-path form: skips a method call on paths
+  executed once per simulated micro-op (cache probes, CEE steps).
+* plain-int pending accumulators flushed through :meth:`StatsRegistry.flush`
+  — the batched form for the epoch-memoized fast paths (mem/fastpath.py,
+  noc/mesh.py): the component counts into a local ``int`` and registers a
+  flush hook that folds it into the real :class:`Counter`.  Every read-side
+  entry point (:meth:`snapshot`, :meth:`reset`, :meth:`fraction`) flushes
+  first, so observed values are always exact.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 
 class Counter:
@@ -262,6 +275,11 @@ class StatsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._sketches: Dict[str, PercentileSketch] = {}
+        # Flush hooks fold batched plain-int accumulators (the fast paths'
+        # pending counts) into real counters.  The list is shared by every
+        # scoped() view, like the storage dicts, so a flush through any view
+        # drains every producer wired to this registry tree.
+        self._flush_hooks: List[Callable[[], None]] = []
 
     def _qualify(self, name: str) -> str:
         return f"{self.prefix}.{name}" if self.prefix else name
@@ -291,6 +309,19 @@ class StatsRegistry:
             self._sketches[full] = PercentileSketch(full, relative_error)
         return self._sketches[full]
 
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable that folds pending batched counts in.
+
+        Hooks must be idempotent when nothing is pending; they run on every
+        :meth:`flush` (and therefore on every snapshot/reset/fraction).
+        """
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Fold every producer's pending batched counts into the counters."""
+        for hook in self._flush_hooks:
+            hook()
+
     def fraction(self, numerator: str, *denominators: str) -> float:
         """``numerator / sum(denominators)``, 0.0 when the total is zero.
 
@@ -298,6 +329,8 @@ class StatsRegistry:
         zero.  Used for derived ratios such as the software-fallback
         fraction (fallbacks taken / queries executed).
         """
+        self.flush()
+
         def value(name: str) -> int:
             counter = self._counters.get(self._qualify(name))
             return counter.value if counter else 0
@@ -311,10 +344,12 @@ class StatsRegistry:
         view._counters = self._counters
         view._histograms = self._histograms
         view._sketches = self._sketches
+        view._flush_hooks = self._flush_hooks
         return view
 
     def snapshot(self) -> Dict[str, float]:
         """All counter values (histograms/sketches reported as summaries)."""
+        self.flush()
         out: Dict[str, float] = {c.name: c.value for c in self._counters.values()}
         for h in self._histograms.values():
             out[f"{h.name}.count"] = h.count
@@ -331,6 +366,9 @@ class StatsRegistry:
         return {k: now.get(k, 0.0) - before.get(k, 0.0) for k in keys}
 
     def reset(self) -> None:
+        # Flush first: pending batched counts belong to the epoch being
+        # reset, exactly as if they had been added unbatched before the call.
+        self.flush()
         for counter in self._counters.values():
             counter.reset()
         for histogram in self._histograms.values():

@@ -191,12 +191,9 @@ class System:
         self.engine = engine if engine is not None else Engine()
 
         self.noc = MeshNoc(self.config.noc, stats=self.stats)
-        self.hierarchy = MemoryHierarchy(
-            self.config,
-            stats=self.stats,
-            hop_latency=self.noc.latency,
-            noc_charge=lambda s, d, n, now: self.noc.send(s, d, n, now),
-        )
+        # Wiring the NoC object (not just its hooks) lets the hierarchy's
+        # epoch-memoized fast path batch send charges (noc/mesh.py).
+        self.hierarchy = MemoryHierarchy(self.config, stats=self.stats, noc=self.noc)
         # ``mem=`` adopts an already-populated process memory (frames, page
         # tables, allocator state) — the warm-system snapshot restore path
         # (analysis/snapshot.py).  Caches, TLBs and stats always start cold,

@@ -48,6 +48,12 @@ MODES = [
     ("off", "off"),
 ]
 
+#: The epoch-memoized memory fast path (mem/fastpath.py) gets its own
+#: dimension: the {fastmem on, off} pair is crossed with the full
+#: {fusion, specialize} grid below, proving the memo layer is invisible
+#: regardless of which interpreter path drives the accesses.
+FASTMEM_MODES = ["on", "off"]
+
 #: Subset of PAIRS replayed across the full mode grid (one sliced scheme,
 #: one core scheme) to bound runtime; the default-mode tests above cover
 #: every pair.
@@ -57,11 +63,16 @@ MODE_GRID_PAIRS = [
 ]
 
 
-def _set_modes(monkeypatch, fusion: str, specialize: str) -> None:
-    # The accelerator reads both switches at construction time, so setting
-    # them before the system is built inside the measurement is sufficient.
+def _set_modes(
+    monkeypatch, fusion: str, specialize: str, fastmem: str = "on"
+) -> None:
+    # The accelerator reads the fusion/specialize switches at construction
+    # time and the hierarchy reads QEI_NO_FASTMEM at construction time, so
+    # setting them before the system is built inside the measurement is
+    # sufficient.
     monkeypatch.setenv("QEI_NO_FUSION", "0" if fusion == "on" else "1")
     monkeypatch.setenv("QEI_NO_SPECIALIZE", "0" if specialize == "on" else "1")
+    monkeypatch.setenv("QEI_NO_FASTMEM", "0" if fastmem == "on" else "1")
 
 
 def _snapshot_hash(stats) -> str:
@@ -134,12 +145,13 @@ def test_serve_report_matches_golden(scheme, tenants, requests, seed):
     assert _measure_serve(scheme, tenants, requests, seed) == golden
 
 
+@pytest.mark.parametrize("fastmem", FASTMEM_MODES)
 @pytest.mark.parametrize("fusion,specialize", MODES)
 @pytest.mark.parametrize("workload,scheme", MODE_GRID_PAIRS)
 def test_roi_pair_matches_golden_in_all_modes(
-    workload, scheme, fusion, specialize, monkeypatch
+    workload, scheme, fusion, specialize, fastmem, monkeypatch
 ):
-    _set_modes(monkeypatch, fusion, specialize)
+    _set_modes(monkeypatch, fusion, specialize, fastmem)
     golden = _load_golden()["pairs"][f"{workload}/{scheme}"]
     assert _measure_pair(workload, scheme) == golden
 

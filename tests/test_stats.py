@@ -264,3 +264,41 @@ def test_cross_node_merge_zero_band_mixes_with_positive_samples():
     exact = exact_quantile([0] * 50 + [1000 * v for v in range(1, 51)], 99.0)
     eps = fleet.relative_error
     assert abs(fleet.quantile(99.0) - exact) <= eps / (1 - eps) * exact
+
+
+def test_flush_hooks_fold_pending_counts_before_reads():
+    """The hot-path batching contract: pending plain-int accumulators fold
+    into counters via registered flush hooks before any snapshot, reset or
+    fraction read — so batched producers are invisible to consumers."""
+    reg = StatsRegistry()
+    hits = reg.counter("hits")
+    total = reg.counter("total")
+    pending = {"hits": 3}
+
+    def drain():
+        hits.value += pending.pop("hits", 0)
+
+    reg.add_flush_hook(drain)
+    total.add(10)
+    assert reg.snapshot()["hits"] == 3          # snapshot flushes first
+    assert reg.snapshot()["hits"] == 3          # hook is idempotent once drained
+    pending["hits"] = 2
+    assert reg.fraction("hits", "total") == 0.5  # fraction flushes first
+    pending["hits"] = 7
+    reg.reset()                                  # reset flushes, then zeroes
+    assert hits.value == 0
+    assert reg.snapshot()["hits"] == 0
+
+
+def test_scoped_views_share_flush_hooks():
+    reg = StatsRegistry()
+    view = reg.scoped("l1d")
+    c = view.counter("hits")
+    box = [4]
+
+    def drain():
+        c.value += box[0]
+        box[0] = 0
+
+    view.add_flush_hook(drain)   # registered through the scoped view...
+    assert reg.snapshot()["l1d.hits"] == 4  # ...runs on root snapshots too
